@@ -1,0 +1,75 @@
+"""Figures 5.2–5.7: change of congestion window size over time.
+
+One single-FTP-flow run per protocol on a 4/8/16-hop chain; the benchmark
+prints per-variant cwnd summaries plus ASCII trace charts for the full
+window (0–10 s) and the zoomed ramp (0–2 s), mirroring the paper's paired
+figures, and asserts the paper's qualitative claims:
+
+* Muzha ramps promptly and then holds a stable window;
+* NewReno/SACK oscillate (their traces have many more window changes);
+* Vegas stays small and steady.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    export_multi_series_csv,
+    fig_cwnd_traces,
+    format_traces_summary,
+)
+from repro.experiments.reporting import ascii_series
+from repro.stats.timeseries import resample, time_average
+
+from conftest import banner, figures_dir, run_once
+
+VARIANTS = ("muzha", "newreno", "sack", "vegas")
+SIM_TIME = 10.0
+
+
+def _campaign(hops):
+    def run():
+        return fig_cwnd_traces(
+            hops, variants=VARIANTS, window=32, sim_time=SIM_TIME, seed=1
+        )
+
+    return run
+
+
+def _report(traces, hops):
+    banner(f"Figs 5.{2 + (hops // 8) * 2}–5.{3 + (hops // 8) * 2} — cwnd traces, {hops}-hop chain")
+    print(format_traces_summary(traces, SIM_TIME))
+    export_multi_series_csv(
+        traces, figures_dir() / f"fig5_cwnd_traces_{hops}hop.csv"
+    )
+    for variant, trace in traces.items():
+        zoom = [(t, v) for t, v in trace if t <= 2.0]
+        print()
+        print(ascii_series(zoom or trace[:1], label=f"cwnd 0-2s: {variant}"))
+
+
+def _assert_shapes(traces):
+    # Muzha holds steady after the ramp: far fewer window changes in the
+    # second half of the run than NewReno-style senders.
+    def changes_after(trace, t0):
+        return sum(1 for t, _ in trace if t >= t0)
+
+    muzha_changes = changes_after(traces["muzha"], SIM_TIME / 2)
+    newreno_changes = changes_after(traces["newreno"], SIM_TIME / 2)
+    assert muzha_changes <= newreno_changes, (
+        f"Muzha should be the stabler window: {muzha_changes} vs {newreno_changes}"
+    )
+    # Vegas keeps a small window (the paper: ~3 packets).
+    vegas_mean = time_average(traces["vegas"], 1.0, SIM_TIME)
+    assert vegas_mean < 8.0
+    # Every variant actually ramped off the initial window.
+    for variant, trace in traces.items():
+        assert max(v for _, v in trace) >= 2.0, f"{variant} never grew"
+
+
+@pytest.mark.parametrize("hops", [4, 8, 16])
+def test_fig5_cwnd_traces(benchmark, hops):
+    traces = run_once(benchmark, _campaign(hops))
+    _report(traces, hops)
+    _assert_shapes(traces)

@@ -1,0 +1,107 @@
+"""Figures 5.14–5.18: Simulation 3A — fairness while coexisting.
+
+Two FTP flows on the Fig 5.15 h-hop cross: the paper runs NewReno vs Vegas
+and NewReno vs Muzha, evaluates per-flow throughput (Figs 5.16/5.17) and
+Jain's fairness index (Figs 5.14 definition, 5.18 values).  We additionally
+print the Muzha-vs-Muzha and NewReno-vs-NewReno controls.
+
+Shape assertions:
+
+* the Muzha pairing is the fairest and NewReno-vs-Vegas the least fair
+  (the paper's Fig 5.18 ordering);
+* the Muzha-vs-NewReno pairing reaches a high fairness index;
+* aggregate goodput stays healthy in all pairings.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.experiments import (
+    export_coexistence_csv,
+    fig_coexistence,
+    format_coexistence,
+    full_scale,
+)
+from repro.stats import jain_index
+
+from conftest import banner, figures_dir, run_once
+
+HOPS = (4, 6, 8) if full_scale() else (4,)
+SIM_TIME = 50.0 if full_scale() else 25.0
+SEEDS = (1, 2, 3, 4, 5) if full_scale() else (1, 2, 3)
+
+
+def _campaign():
+    pairings = [
+        ("newreno", "vegas"),
+        ("newreno", "muzha"),
+        ("muzha", "muzha"),
+        ("newreno", "newreno"),
+    ]
+    return {
+        pair: fig_coexistence(
+            pair[0], pair[1], hops_list=HOPS, sim_time=SIM_TIME, seeds=SEEDS
+        )
+        for pair in pairings
+    }
+
+
+def test_fig5_14_jain_index_definition(benchmark):
+    """Fig 5.14 is the Jain index formula itself; verify it on the paper's
+    style of input and on degenerate cases."""
+
+    def campaign():
+        return {
+            "equal": jain_index([100.0, 100.0]),
+            "starved": jain_index([190.0, 10.0]),
+            "single": jain_index([42.0]),
+        }
+
+    values = run_once(benchmark, campaign)
+    banner("Fig 5.14 — Jain's fairness index (definition check)")
+    for name, value in values.items():
+        print(f"{name:>8s}: {value:.4f}")
+    assert values["equal"] == pytest.approx(1.0)
+    assert values["starved"] == pytest.approx(
+        (200.0**2) / (2 * (190.0**2 + 10.0**2))
+    )
+    assert values["single"] == pytest.approx(1.0)
+
+
+def test_fig5_16_to_18_coexistence(benchmark):
+    results = run_once(benchmark, _campaign)
+
+    banner("Fig 5.16 — Throughput for coexisting NewReno and Vegas")
+    print(format_coexistence(results[("newreno", "vegas")], "newreno", "vegas"))
+    banner("Fig 5.17 — Throughput for coexisting NewReno and Muzha")
+    print(format_coexistence(results[("newreno", "muzha")], "newreno", "muzha"))
+    for pair, figure in [(("newreno", "vegas"), "5.16"), (("newreno", "muzha"), "5.17")]:
+        export_coexistence_csv(
+            results[pair], pair[0], pair[1],
+            figures_dir() / f"fig{figure}_coexistence.csv",
+        )
+    banner("Fig 5.18 — Fairness index for coexisting flows")
+    rows = []
+    fairness = {}
+    for pair, points in results.items():
+        mean_fairness = statistics.mean(p.fairness for p in points)
+        fairness[pair] = mean_fairness
+        rows.append((f"{pair[0]} + {pair[1]}", f"{mean_fairness:.3f}"))
+    for label, value in rows:
+        print(f"  {label:24s} {value}")
+
+    # Paper ordering: Muzha pairings fairest, NewReno+Vegas least fair.
+    assert fairness[("muzha", "muzha")] > fairness[("newreno", "vegas")], (
+        "Muzha flows must share more fairly than the NewReno/Vegas mix"
+    )
+    assert fairness[("newreno", "muzha")] >= 0.75, (
+        "Muzha must coexist fairly with NewReno (paper Fig 5.18)"
+    )
+    assert fairness[("muzha", "muzha")] >= 0.85
+
+    # Both flows alive in the Muzha pairing (no capture starvation).
+    for point in results[("newreno", "muzha")]:
+        assert point.goodput_a_kbps > 10.0 and point.goodput_b_kbps > 10.0

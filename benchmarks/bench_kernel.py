@@ -1,0 +1,58 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure — these track the cost of the hot paths (event loop,
+MAC exchange, full-stack packet delivery) so substrate regressions are
+visible next to the figure campaigns.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ScenarioConfig, run_chain
+from repro.sim import EventScheduler
+
+
+def test_scheduler_event_throughput(benchmark):
+    """Schedule-and-run cost of 10k timer events."""
+
+    def campaign():
+        sched = EventScheduler()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+
+        for i in range(10_000):
+            sched.schedule(i * 1e-4, tick)
+        sched.run()
+        return counter[0]
+
+    assert benchmark(campaign) == 10_000
+
+
+def test_mac_exchange_rate(benchmark):
+    """Saturated one-hop 802.11 exchange rate (RTS/CTS/DATA/ACK each)."""
+    from repro.mac.dcf import QueuedPacket
+    from repro.routing import install_static_routing
+    from repro.topology import build_chain
+    from repro.traffic import start_ftp
+
+    def campaign():
+        net = build_chain(1, seed=1)
+        install_static_routing(net.nodes, net.channel)
+        flow = start_ftp(net.sim, net.nodes[0], net.nodes[1], variant="newreno", window=8)
+        net.sim.run(until=5.0)
+        return flow.sink.delivered_packets
+
+    delivered = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert delivered > 200  # ~ >40 packets/s over one hop
+
+
+def test_full_stack_chain_run(benchmark):
+    """End-to-end cost of a standard 4-hop, 10 s Muzha experiment."""
+
+    def campaign():
+        result = run_chain(4, ["muzha"], config=ScenarioConfig(sim_time=10.0, seed=1))
+        return result.flows[0].delivered_packets
+
+    delivered = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert delivered > 100

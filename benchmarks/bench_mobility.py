@@ -1,0 +1,68 @@
+"""Extension benchmark: TCP Muzha vs NewReno under node mobility.
+
+Not a paper figure — the paper's §6 lists mobility support as future work.
+A random network roams under random-waypoint motion while a bulk flow runs
+corner-to-corner; we compare goodput and TCP-level retransmissions.  The
+assertion is survival-shaped: both protocols must keep delivering, and
+Muzha must not do worse than NewReno on retransmissions (its feedback keeps
+the window small, which helps when paths churn).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import install_drai
+from repro.experiments import full_scale
+from repro.phy import Area, Position, RandomWaypointMobility
+from repro.routing import install_aodv_routing
+from repro.topology import make_network
+from repro.traffic import start_ftp
+
+from conftest import banner, run_once
+
+SEEDS = (1, 2, 3, 4, 5) if full_scale() else (1, 2, 3)
+SIM_TIME = 40.0 if full_scale() else 20.0
+SIDE = 700.0
+
+
+def _run(variant, seed):
+    net = make_network(seed=seed)
+    rng = net.sim.stream("placement")
+    for _ in range(12):
+        net.add_node(Position(rng.uniform(0, SIDE), rng.uniform(0, SIDE)))
+    install_aodv_routing(net.nodes, net.sim)
+    if variant.startswith("muzha"):
+        install_drai(net.nodes, net.sim)
+    RandomWaypointMobility(
+        net.sim,
+        net.channel,
+        [n.radio for n in net.nodes],
+        Area(0.0, 0.0, SIDE, SIDE),
+        speed_range=(2.0, 10.0),
+        pause_time=1.0,
+    ).start()
+    flow = start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant=variant, window=4)
+    net.sim.run(until=SIM_TIME)
+    return flow
+
+
+def test_mobility_extension(benchmark):
+    def campaign():
+        rows = {}
+        for variant in ("muzha", "newreno"):
+            goodputs, retx = [], []
+            for seed in SEEDS:
+                flow = _run(variant, seed)
+                goodputs.append(flow.goodput_kbps(SIM_TIME))
+                retx.append(flow.sender.stats.retransmits)
+            rows[variant] = (statistics.mean(goodputs), statistics.mean(retx))
+        return rows
+
+    rows = run_once(benchmark, campaign)
+    banner("Extension — random-waypoint mobility (12 nodes, 700 m field)")
+    for variant, (goodput, retx) in rows.items():
+        print(f"  {variant:8s}: goodput={goodput:7.1f} kbps  retx={retx:5.1f}")
+    for variant, (goodput, _) in rows.items():
+        assert goodput > 10.0, f"{variant} died under mobility"
+    assert rows["muzha"][1] <= rows["newreno"][1] + 3.0

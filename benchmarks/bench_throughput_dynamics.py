@@ -1,0 +1,83 @@
+"""Figures 5.19–5.22: Simulation 3B — throughput dynamics of three flows.
+
+Three same-protocol FTP flows share a 4-hop chain, entering at 0 s, 10 s and
+20 s.  The benchmark prints each flow's per-second goodput series (the
+paper's four figures, one per protocol) and asserts the paper's claim that
+Muzha's flows converge to a fair share, with the convergence measured by
+the Jain index over the final window of the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ascii_series,
+    export_multi_series_csv,
+    fig_dynamics,
+    full_scale,
+)
+from repro.stats import jain_index
+
+from conftest import banner, figures_dir, run_once
+
+VARIANT_FIGURES = {
+    "muzha": "5.19",
+    "newreno": "5.20",
+    "sack": "5.21",
+    "vegas": "5.22",
+}
+SIM_TIME = 40.0
+STARTS = (0.0, 10.0, 20.0)
+
+
+def _tail_rates(flow, t0):
+    return [rate for t, rate in flow.rate_series_kbps if t >= t0]
+
+
+def _tail_mean(flow, t0):
+    rates = _tail_rates(flow, t0)
+    return sum(rates) / len(rates) if rates else 0.0
+
+
+def _campaign(variant):
+    def run():
+        return fig_dynamics(
+            variant, hops=4, starts=STARTS, sim_time=SIM_TIME, seed=1, window=4
+        )
+
+    return run
+
+
+@pytest.mark.parametrize("variant", list(VARIANT_FIGURES))
+def test_fig5_19_to_22_dynamics(benchmark, variant):
+    result = run_once(benchmark, _campaign(variant))
+    banner(
+        f"Fig {VARIANT_FIGURES[variant]} — Throughput dynamics "
+        f"[three flows] — {variant}"
+    )
+    for i, flow in enumerate(result.flows):
+        print(
+            ascii_series(
+                flow.rate_series_kbps,
+                label=f"flow {i} (enters {STARTS[i]:g}s), kbps",
+            )
+        )
+        print()
+
+    export_multi_series_csv(
+        {f"flow{i}": flow.rate_series_kbps for i, flow in enumerate(result.flows)},
+        figures_dir() / f"fig{VARIANT_FIGURES[variant]}_dynamics_{variant}.csv",
+    )
+    shares = [_tail_mean(flow, 30.0) for flow in result.flows]
+    fairness = jain_index(shares)
+    print(f"final-window shares (kbps): {[round(s, 1) for s in shares]}")
+    print(f"final-window Jain index: {fairness:.3f}")
+
+    # Every flow must be alive once all three have entered.
+    for i, share in enumerate(shares):
+        assert share > 5.0, f"{variant} flow {i} starved: {shares}"
+
+    if variant == "muzha":
+        # The paper's claim: Muzha converges to fair utilisation.
+        assert fairness > 0.7, f"Muzha flows failed to converge: {shares}"

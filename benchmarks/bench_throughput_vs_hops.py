@@ -1,0 +1,46 @@
+"""Figures 5.8–5.10: throughput vs number of hops per advertised window.
+
+For each ``window_`` in {4, 8, 32}, sweep the chain length and print one
+row per hop count with all four protocols' goodputs — the same series the
+paper plots.  Shape assertions:
+
+* throughput decreases with hop count for every protocol;
+* Muzha's aggregate goodput is at least competitive with (and typically
+  above) NewReno's, the paper's +5–10% headline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import export_sweep_csv, format_sweep
+
+from conftest import banner, figures_dir, run_once
+
+
+def _assert_shapes(sweep):
+    hops = list(sweep.hops)
+    for variant in sweep.variants:
+        series = dict(sweep.goodput_series(variant))
+        # Monotone decreasing across a 2x hop increase (with 10% slack for
+        # seed noise on neighbouring grid points).
+        assert series[hops[0]] > series[hops[-1]] * 1.1, (
+            f"{variant}: throughput should fall with hops: {series}"
+        )
+    muzha_total = sum(v for _, v in sweep.goodput_series("muzha"))
+    newreno_total = sum(v for _, v in sweep.goodput_series("newreno"))
+    assert muzha_total >= 0.95 * newreno_total, (
+        f"Muzha aggregate goodput {muzha_total:.0f} should be >= ~NewReno's "
+        f"{newreno_total:.0f}"
+    )
+
+
+@pytest.mark.parametrize("window", [4, 8, 32])
+def test_fig5_8_to_10_throughput_vs_hops(benchmark, sweep_for_window, window):
+    sweep = run_once(benchmark, lambda: sweep_for_window(window))
+    figure = {4: "5.8", 8: "5.9", 32: "5.10"}[window]
+    banner(f"Fig {figure} — Throughput vs. number of hops (window_={window})")
+    print(format_sweep(sweep, metric="goodput"))
+    csv_path = export_sweep_csv(sweep, figures_dir() / f"fig{figure}_sweep_w{window}.csv")
+    print(f"[csv: {csv_path}]")
+    _assert_shapes(sweep)

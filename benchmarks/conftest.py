@@ -1,0 +1,57 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding simulation campaign, prints the same rows/series the paper
+plots, and asserts the qualitative shape (who wins, monotonicity, fairness
+ordering).  Set ``REPRO_FULL=1`` for paper-scale campaigns (longer
+simulations, full hop grids, more seeds).
+
+The chain sweeps behind Figs 5.8-5.13 are expensive, so they are computed
+once per advertised window in a session-scoped cache shared by the
+throughput and retransmission benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.experiments import SweepConfig, SweepResult, throughput_retransmit_sweep
+
+_SWEEP_CACHE: Dict[int, SweepResult] = {}
+
+
+@pytest.fixture(scope="session")
+def sweep_for_window():
+    """Callable returning the (cached) Fig 5.8-5.13 sweep for a window."""
+
+    def get(window: int) -> SweepResult:
+        if window not in _SWEEP_CACHE:
+            _SWEEP_CACHE[window] = throughput_retransmit_sweep(
+                window, sweep=SweepConfig.for_scale()
+            )
+        return _SWEEP_CACHE[window]
+
+    return get
+
+
+def run_once(benchmark, func):
+    """Run a figure campaign exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def figures_dir():
+    """Where benchmarks drop their CSV artefacts (repo-level results/)."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "results" / "figures"
+    path.mkdir(parents=True, exist_ok=True)
+    return path

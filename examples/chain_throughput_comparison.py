@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Multihop bulk-transfer comparison (the paper's Simulation 2, scaled down).
+
+Scenario: a sensor-network-style backbone — a chain of relay nodes carrying
+a bulk FTP transfer end to end.  We sweep the chain length and compare all
+four protocols' goodput and retransmission counts, i.e. a quick version of
+Figs 5.8/5.11.
+
+Run:  python examples/chain_throughput_comparison.py [--hops 4 8 16]
+"""
+
+import argparse
+
+from repro.experiments import (
+    PAPER_VARIANTS,
+    ScenarioConfig,
+    format_table,
+    run_chain,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hops", type=int, nargs="+", default=[4, 8, 16])
+    parser.add_argument("--window", type=int, default=8)
+    parser.add_argument("--time", type=float, default=15.0)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    rows = []
+    for hops in args.hops:
+        for variant in PAPER_VARIANTS:
+            config = ScenarioConfig(
+                sim_time=args.time, seed=args.seed, window=args.window
+            )
+            flow = run_chain(hops, [variant], config=config).flows[0]
+            rows.append(
+                (
+                    hops,
+                    variant,
+                    f"{flow.goodput_kbps:8.1f}",
+                    flow.retransmits,
+                    flow.timeouts,
+                )
+            )
+    print(
+        format_table(
+            ["hops", "variant", "goodput (kbps)", "retx", "timeouts"],
+            rows,
+            title=f"Bulk transfer over an h-hop chain (window_={args.window}, "
+            f"{args.time:g}s)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

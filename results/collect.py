@@ -1,0 +1,34 @@
+"""Collect the paper-scale campaign results recorded in EXPERIMENTS.md.
+
+Run:  REPRO_FULL=1 python results/collect.py
+"""
+import statistics, sys, time
+
+from repro.experiments import (
+    PAPER_VARIANTS, ScenarioConfig, SweepConfig, fig_coexistence,
+    fig_dynamics, format_coexistence, format_sweep, throughput_retransmit_sweep,
+)
+from repro.stats import jain_index
+
+t0 = time.time()
+sweep_cfg = SweepConfig(hops=(4, 8, 16, 32), seeds=(1, 2, 3), sim_time=30.0)
+for window in (4, 8, 32):
+    sweep = throughput_retransmit_sweep(window, sweep=sweep_cfg)
+    print(format_sweep(sweep, metric="goodput"), flush=True)
+    print(format_sweep(sweep, metric="retransmits"), flush=True)
+    print(flush=True)
+
+for a, b in [("newreno", "vegas"), ("newreno", "muzha"), ("muzha", "muzha"), ("newreno", "newreno")]:
+    points = fig_coexistence(a, b, hops_list=(4, 6, 8), sim_time=50.0, seeds=(1, 2, 3, 4, 5))
+    print(format_coexistence(points, a, b), flush=True)
+    print(flush=True)
+
+for variant in PAPER_VARIANTS:
+    result = fig_dynamics(variant, hops=4, starts=(0, 10, 20), sim_time=40.0, seed=1, window=4)
+    shares = []
+    for flow in result.flows:
+        tail = [r for t, r in flow.rate_series_kbps if t >= 30.0]
+        shares.append(sum(tail) / len(tail) if tail else 0.0)
+    print(f"dynamics {variant}: shares={[round(s,1) for s in shares]} jain={jain_index(shares):.3f}", flush=True)
+
+print(f"\ntotal wall time: {time.time()-t0:.0f}s", flush=True)

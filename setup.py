@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` needs wheel for PEP 660 editable
+builds; `python setup.py develop` does not.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — a from-scratch reproduction of *TCP Muzha* (router-assisted TCP
+congestion control over wireless ad hoc networks, ICDCS 2007).
+
+The package ships the complete substrate the paper ran on (discrete-event
+kernel, 802.11 DCF MAC over a collision-accurate wireless channel, AODV,
+packet-granularity TCP variants) plus the paper's contribution (the DRAI
+router feedback and the TCP Muzha sender) and an experiment harness that
+regenerates every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro.experiments import run_chain, ScenarioConfig
+
+    result = run_chain(4, ["muzha"], config=ScenarioConfig(sim_time=10.0))
+    print(result.flows[0].goodput_kbps)
+"""
+
+from . import core, experiments, mac, net, phy, routing, sim, stats, topology, traffic, transport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "experiments",
+    "mac",
+    "net",
+    "phy",
+    "routing",
+    "sim",
+    "stats",
+    "topology",
+    "traffic",
+    "transport",
+    "__version__",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: ``repro-muzha``.
+
+Subcommands mirror the paper's three simulations plus the parameter tables:
+
+* ``repro-muzha chain --hops 8 --variant muzha`` — single-flow chain run;
+* ``repro-muzha sweep --window 8`` — Figs 5.8–5.13 series;
+* ``repro-muzha cross --a newreno --b muzha`` — Simulation 3A coexistence;
+* ``repro-muzha dynamics --variant muzha`` — Simulation 3B staggered flows;
+* ``repro-muzha tables`` — Tables 5.1/5.2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.drai import DRAI_TABLE, apply_drai
+from .experiments import (
+    PAPER_VARIANTS,
+    ScenarioConfig,
+    SweepConfig,
+    Table51Parameters,
+    ascii_series,
+    fig_coexistence,
+    fig_dynamics,
+    format_coexistence,
+    format_sweep,
+    format_table,
+    run_chain,
+    throughput_retransmit_sweep,
+)
+from .stats import jain_index, resample
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    parser.add_argument("--time", type=float, default=30.0, help="simulated seconds")
+    parser.add_argument("--window", type=int, default=8, help="advertised window")
+    parser.add_argument(
+        "--routing", choices=("aodv", "static"), default="aodv", help="routing protocol"
+    )
+
+
+def _cmd_chain(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        sim_time=args.time, seed=args.seed, window=args.window, routing=args.routing,
+        packet_error_rate=args.loss,
+    )
+    result = run_chain(args.hops, [args.variant], config=config)
+    flow = result.flows[0]
+    print(f"{args.variant} over a {args.hops}-hop chain ({args.time:g}s):")
+    print(f"  goodput        : {flow.goodput_kbps:8.1f} kbps")
+    print(f"  delivered      : {flow.delivered_packets} packets")
+    print(f"  retransmissions: {flow.retransmits}")
+    print(f"  timeouts       : {flow.timeouts}")
+    if args.trace:
+        grid = resample(flow.cwnd_trace, 0.0, args.time, args.time / 64)
+        print(ascii_series(grid, label="cwnd"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep_config = SweepConfig(
+        hops=tuple(args.hops), seeds=tuple(range(1, args.seeds + 1)), sim_time=args.time
+    )
+    sweep = throughput_retransmit_sweep(args.window, sweep=sweep_config)
+    print(format_sweep(sweep, metric="goodput"))
+    print()
+    print(format_sweep(sweep, metric="retransmits"))
+    return 0
+
+
+def _cmd_cross(args: argparse.Namespace) -> int:
+    points = fig_coexistence(
+        args.a,
+        args.b,
+        hops_list=tuple(args.hops),
+        sim_time=args.time,
+        seeds=tuple(range(1, args.seeds + 1)),
+        window=args.window,
+    )
+    print(format_coexistence(points, args.a, args.b))
+    return 0
+
+
+def _cmd_dynamics(args: argparse.Namespace) -> int:
+    result = fig_dynamics(
+        args.variant,
+        hops=args.hops,
+        starts=(0.0, 10.0, 20.0),
+        sim_time=args.time,
+        seed=args.seed,
+        window=args.window,
+    )
+    for i, flow in enumerate(result.flows):
+        print(ascii_series(flow.rate_series_kbps, label=f"flow {i} (kbps)"))
+        print()
+    tails = [
+        [rate for t, rate in flow.rate_series_kbps if t >= args.time - 10.0]
+        for flow in result.flows
+    ]
+    shares = [sum(r) / len(r) if r else 0.0 for r in tails]
+    print(f"final shares: {[round(s, 1) for s in shares]} kbps; "
+          f"Jain index {jain_index(shares):.3f}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    print(format_table(["Parameter", "Range"], Table51Parameters().rows(),
+                       title="Table 5.1 — Simulation parameters"))
+    print()
+    rows = [
+        (level, f"cwnd 8 -> {apply_drai(8.0, level):g}")
+        for level in sorted(DRAI_TABLE, reverse=True)
+    ]
+    print(format_table(["DRAI", "effect"], rows, title="Table 5.2 — DRAI formula"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-muzha",
+        description="TCP Muzha reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chain = sub.add_parser("chain", help="single flow over an h-hop chain")
+    _add_common(chain)
+    chain.add_argument("--hops", type=int, default=4)
+    chain.add_argument("--variant", choices=sorted(PAPER_VARIANTS) + ["tahoe", "reno"],
+                       default="muzha")
+    chain.add_argument("--loss", type=float, default=0.0,
+                       help="per-frame random loss probability")
+    chain.add_argument("--trace", action="store_true", help="print the cwnd trace")
+    chain.set_defaults(func=_cmd_chain)
+
+    sweep = sub.add_parser("sweep", help="Figs 5.8-5.13 hop sweep")
+    _add_common(sweep)
+    sweep.add_argument("--hops", type=int, nargs="+", default=[4, 8, 16])
+    sweep.add_argument("--seeds", type=int, default=3)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cross = sub.add_parser("cross", help="Simulation 3A coexistence on a cross")
+    _add_common(cross)
+    cross.add_argument("--a", default="newreno", help="horizontal flow variant")
+    cross.add_argument("--b", default="muzha", help="vertical flow variant")
+    cross.add_argument("--hops", type=int, nargs="+", default=[4])
+    cross.add_argument("--seeds", type=int, default=3)
+    cross.set_defaults(func=_cmd_cross)
+
+    dynamics = sub.add_parser("dynamics", help="Simulation 3B staggered flows")
+    _add_common(dynamics)
+    dynamics.add_argument("--variant", default="muzha")
+    dynamics.add_argument("--hops", type=int, default=4)
+    dynamics.set_defaults(func=_cmd_dynamics)
+
+    tables = sub.add_parser("tables", help="print Tables 5.1 and 5.2")
+    tables.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

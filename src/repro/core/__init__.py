@@ -1,0 +1,43 @@
+"""The paper's primary contribution (S7): TCP Muzha and the DRAI machinery.
+
+Importing this package registers the Muzha variants with the transport
+registry, so scenario code can request ``variant="muzha"``.
+"""
+
+from ..transport.registry import register_variant
+from .ablations import BinaryFeedbackDrai, TcpMuzhaNoMarking
+from .drai import (
+    DECELERATION_BAND,
+    DRAI_TABLE,
+    MAX_DRAI,
+    MIN_DRAI,
+    DraiEstimator,
+    DraiParams,
+    QueueRttDrai,
+    apply_drai,
+    compute_drai,
+    install_drai,
+    is_marked,
+)
+from .muzha import MuzhaStats, TcpMuzha
+
+register_variant("muzha", TcpMuzha)
+register_variant("muzha-nomark", TcpMuzhaNoMarking)
+
+__all__ = [
+    "BinaryFeedbackDrai",
+    "DECELERATION_BAND",
+    "DRAI_TABLE",
+    "DraiEstimator",
+    "DraiParams",
+    "MAX_DRAI",
+    "MIN_DRAI",
+    "MuzhaStats",
+    "QueueRttDrai",
+    "TcpMuzha",
+    "TcpMuzhaNoMarking",
+    "apply_drai",
+    "compute_drai",
+    "install_drai",
+    "is_marked",
+]

@@ -1,0 +1,49 @@
+"""Ablations of the Muzha design, used by the ablation benchmarks.
+
+``BinaryFeedbackDrai`` collapses the five-level DRAI to an ECN-like binary
+signal — the paper argues (§4.6) this is "too brief for the sender to gain
+further network status"; the bench shows the resulting oscillation.
+
+``TcpMuzhaNoMarking`` disables the §4.7 random-loss discrimination: every
+triple-dupACK is treated as congestion, quantifying what the marking buys.
+"""
+
+from __future__ import annotations
+
+from ..transport.segments import TcpSegment
+from .drai import DraiEstimator, compute_drai
+from .muzha import TcpMuzha
+
+
+class BinaryFeedbackDrai(DraiEstimator):
+    """ECN-style single-bit feedback expressed in DRAI terms.
+
+    The node only ever publishes 4 ("no congestion" -> moderate
+    acceleration) or 1 ("congestion" -> aggressive deceleration); the
+    stabilizing and moderate levels are unavailable, so a sender at the
+    optimal rate is always pushed away from it.
+    """
+
+    def _compute(self, queue_len: float, utilization: float, occupancy: float) -> int:
+        fine = compute_drai(queue_len, utilization, occupancy, self.params)
+        return 1 if fine <= 2 else 4
+
+
+class TcpMuzhaNoMarking(TcpMuzha):
+    """Muzha with the marked/unmarked dupACK classification disabled."""
+
+    variant = "muzha-nomark"
+
+    def _on_triple_dupack(self, seg: TcpSegment) -> None:
+        if self.in_recovery:
+            return
+        # Force the congestion interpretation regardless of the echoed MRAI.
+        forced = TcpSegment(
+            "ack",
+            sport=seg.sport,
+            dport=seg.dport,
+            ack=seg.ack,
+            sack_blocks=seg.sack_blocks,
+            echo_mrai=1,
+        )
+        super()._on_triple_dupack(forced)

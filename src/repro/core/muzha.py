@@ -1,0 +1,134 @@
+"""TCP Muzha — the paper's router-assisted congestion control (Chapter 4).
+
+Differences from loss-driven TCP, exactly as Table 4.1 specifies:
+
+* **No slow start.**  The connection starts directly in congestion
+  avoidance; the window is steered by the path-minimum DRAI (the MRAI)
+  echoed on every ACK, applied once per RTT via Table 5.2.
+* **Two phases only:** CA (congestion avoidance) and FF (fast retransmit &
+  fast recovery, inherited from NewReno).
+* **Marked vs unmarked duplicate ACKs (§4.7):** three duplicate ACKs whose
+  echoed MRAI is in the deceleration band mean congestion -> halve cwnd and
+  enter FF.  Three *unmarked* duplicate ACKs mean random (wireless) loss ->
+  retransmit and enter FF *without any window reduction*.
+* **Timeout:** cwnd <- 1 and back to CA (never slow start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..net.packet import Packet
+from ..transport.base import TcpSenderBase
+from ..transport.segments import TcpSegment
+from .drai import DRAI_TABLE, MAX_DRAI, apply_drai, is_marked
+
+
+@dataclass
+class MuzhaStats:
+    """Muzha-specific counters, extending the base sender stats."""
+
+    marked_loss_events: int = 0
+    random_loss_events: int = 0
+    rate_adjustments: Dict[int, int] = field(
+        default_factory=lambda: {lvl: 0 for lvl in DRAI_TABLE}
+    )
+
+
+class TcpMuzha(TcpSenderBase):
+    """Router-assisted sender driven by the MRAI feedback."""
+
+    variant = "muzha"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # No slow start: keep ssthresh below any reachable cwnd so the
+        # sender is permanently in congestion avoidance.
+        self.ssthresh = 0.0
+        self.muzha = MuzhaStats()
+        self.last_mrai: Optional[int] = None
+        #: Apply at most one Table 5.2 adjustment per RTT: the next
+        #: adjustment is allowed once snd_una passes this barrier.
+        self._adjust_barrier = 0
+        #: cwnd to restore when the current FF episode completes.
+        self._ff_exit_cwnd = self.cwnd
+
+    # -- router-assist plumbing ---------------------------------------------------
+
+    def _decorate_data_packet(self, packet: Packet) -> None:
+        # Carry the AVBW-S option, initialised to the maximum DRAI (§4.4).
+        packet.avbw_s = MAX_DRAI
+
+    # -- CA phase: MRAI-driven window control ------------------------------------------
+
+    def _grow_window(self) -> None:
+        pass  # growth comes exclusively from the MRAI feedback
+
+    def _on_new_ack(self, acked: int, seg: TcpSegment) -> None:
+        if self.in_recovery:
+            self._ff_new_ack(acked, seg)
+            return
+        mrai = seg.echo_mrai
+        if mrai is None:
+            return
+        self.last_mrai = mrai
+        if self.snd_una >= self._adjust_barrier:
+            self._apply_mrai(mrai)
+            self._arm_adjust_barrier()
+
+    def _apply_mrai(self, mrai: int) -> None:
+        self.muzha.rate_adjustments[mrai] += 1
+        self._set_cwnd(apply_drai(self.cwnd, mrai))
+
+    def _arm_adjust_barrier(self) -> None:
+        """Allow the next adjustment only once the window sent *after* this
+        one is being acknowledged — i.e. one adjustment per RTT.  Computed
+        from the post-adjustment window because new data has not been
+        clocked out yet when the ACK hook runs."""
+        self._adjust_barrier = max(
+            self.snd_nxt, self.snd_una + self.usable_window
+        )
+
+    # -- FF phase: NewReno-style recovery with loss classification -----------------------
+
+    def _on_triple_dupack(self, seg: TcpSegment) -> None:
+        if self.in_recovery:
+            return
+        self.stats.fast_retransmits += 1
+        self.in_recovery = True
+        self.recover = self.snd_nxt
+        if is_marked(seg.echo_mrai):
+            # Congestion loss: halve, as Table 4.1 row 2.
+            self.muzha.marked_loss_events += 1
+            self._ff_exit_cwnd = max(self.cwnd / 2.0, 1.0)
+        else:
+            # Random loss: retransmit only, no window reduction (row 3).
+            self.muzha.random_loss_events += 1
+            self._ff_exit_cwnd = self.cwnd
+        self._transmit(self.snd_una, is_retransmit=True)
+        # Inflate by the three departed segments to keep the ACK clock.
+        self._set_cwnd(self._ff_exit_cwnd + 3.0)
+
+    def _on_extra_dupack(self, seg: TcpSegment) -> None:
+        if self.in_recovery:
+            self._set_cwnd(self.cwnd + 1.0)
+
+    def _ff_new_ack(self, acked: int, seg: TcpSegment) -> None:
+        if seg.ack >= self.recover:
+            # FF complete: deflate to the classified exit window.
+            self.in_recovery = False
+            self._set_cwnd(self._ff_exit_cwnd)
+            self._arm_adjust_barrier()
+            return
+        # Partial ACK: next hole, NewReno style, window pinned.
+        self.stats.fast_retransmits += 1
+        self._transmit(self.snd_una, is_retransmit=True)
+        self._set_cwnd(max(self.cwnd - acked + 1.0, self._ff_exit_cwnd))
+
+    # -- timeout: back to CA, never slow start (Table 4.1 row 4) ----------------------------
+
+    def _on_timeout(self) -> None:
+        self._set_cwnd(1.0)
+        self.in_recovery = False
+        self._adjust_barrier = self.snd_una

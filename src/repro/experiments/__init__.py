@@ -1,0 +1,63 @@
+"""Experiment harness (S11): scenario runners, per-figure generators and
+text reporting used by the benchmarks, the examples and the CLI."""
+
+from .config import (
+    FULL_ENV_VAR,
+    PAPER_VARIANTS,
+    ScenarioConfig,
+    SweepConfig,
+    Table51Parameters,
+    full_scale,
+)
+from .export import (
+    export_coexistence_csv,
+    export_multi_series_csv,
+    export_series_csv,
+    export_sweep_csv,
+)
+from .figures import (
+    CoexistencePoint,
+    SweepPoint,
+    SweepResult,
+    fig_coexistence,
+    fig_cwnd_traces,
+    fig_dynamics,
+    throughput_retransmit_sweep,
+)
+from .reporting import (
+    ascii_series,
+    format_coexistence,
+    format_sweep,
+    format_table,
+    format_traces_summary,
+)
+from .runner import FlowResult, RunResult, run_chain, run_cross
+
+__all__ = [
+    "CoexistencePoint",
+    "FULL_ENV_VAR",
+    "FlowResult",
+    "PAPER_VARIANTS",
+    "RunResult",
+    "ScenarioConfig",
+    "SweepConfig",
+    "SweepPoint",
+    "SweepResult",
+    "Table51Parameters",
+    "ascii_series",
+    "export_coexistence_csv",
+    "export_multi_series_csv",
+    "export_series_csv",
+    "export_sweep_csv",
+    "fig_coexistence",
+    "fig_cwnd_traces",
+    "fig_dynamics",
+    "format_coexistence",
+    "format_sweep",
+    "format_table",
+    "format_traces_summary",
+    "full_scale",
+    "run_chain",
+    "run_cross",
+    "throughput_retransmit_sweep",
+]

@@ -1,0 +1,82 @@
+"""Experiment configuration: the paper's Table 5.1 parameters plus the
+switches the figure generators expose."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..core.drai import DraiParams
+from ..sim import units
+
+#: Environment variable: when set to "1", benchmarks run paper-scale
+#: configurations (30–50 s simulations, full hop sweeps, more seeds).
+FULL_ENV_VAR = "REPRO_FULL"
+
+
+def full_scale() -> bool:
+    """Whether paper-scale benchmark configurations were requested."""
+    return os.environ.get(FULL_ENV_VAR, "0") == "1"
+
+
+@dataclass(frozen=True)
+class Table51Parameters:
+    """The paper's Table 5.1, as executable configuration."""
+
+    number_of_nodes: Tuple[int, int] = (4, 32)  # range swept (hops h -> h+1)
+    link_bandwidth_bps: float = units.mbps(2.0)
+    transmission_range_m: float = 250.0
+    mac: str = "802.11"
+    routing: str = "AODV"
+    ifq_capacity: int = 50
+    packet_size_bytes: int = 1460
+
+    def rows(self) -> list:
+        """(parameter, value) rows, printable next to the paper's table."""
+        return [
+            ("Number of Nodes", f"{self.number_of_nodes[0]}~{self.number_of_nodes[1]}"),
+            ("Link Bandwidth", f"{self.link_bandwidth_bps / 1e6:g}Mbps"),
+            ("Transmission Range", f"{self.transmission_range_m:g} m"),
+            ("MAC", self.mac),
+            ("Routing", self.routing),
+        ]
+
+
+@dataclass
+class ScenarioConfig:
+    """Common knobs of every experiment run."""
+
+    sim_time: float = 30.0
+    seed: int = 1
+    routing: str = "aodv"  # "aodv" | "static"
+    window: int = 8
+    mss: int = 1460
+    ifq_capacity: int = 50
+    drai_params: Optional[DraiParams] = None
+    #: Per-frame random loss probability (0 = the paper's clean-medium runs).
+    packet_error_rate: float = 0.0
+    #: Sampling period for throughput-dynamics series.
+    sampler_interval: float = 1.0
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Hop/seed grids for the Figure 5.8–5.13 sweeps."""
+
+    hops: Sequence[int] = (4, 8, 16, 32)
+    seeds: Sequence[int] = (1, 2, 3)
+    sim_time: float = 30.0
+
+    @staticmethod
+    def for_scale(full: Optional[bool] = None) -> "SweepConfig":
+        """Quick grid by default; paper-scale when REPRO_FULL=1."""
+        if full is None:
+            full = full_scale()
+        if full:
+            return SweepConfig(hops=(4, 8, 12, 16, 24, 32), seeds=(1, 2, 3, 4, 5), sim_time=30.0)
+        return SweepConfig(hops=(4, 8, 16), seeds=(1, 2, 3), sim_time=15.0)
+
+
+#: The four protocols the paper compares (Muzha + three baselines).
+PAPER_VARIANTS: Tuple[str, ...] = ("muzha", "newreno", "sack", "vegas")

@@ -1,0 +1,98 @@
+"""CSV export of experiment artefacts.
+
+Every figure generator returns plain data; these writers persist them in a
+stable CSV schema so the results can be replotted outside Python (the
+paper's figures are line charts — any spreadsheet or gnuplot can rebuild
+them from these files).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from .figures import CoexistencePoint, SweepResult
+
+PathLike = Union[str, Path]
+
+
+def _open_writer(path: PathLike):
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def export_sweep_csv(sweep: SweepResult, path: PathLike) -> Path:
+    """Figs 5.8–5.13 grid: one row per (hops, variant) point."""
+    target = _open_writer(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["window", "hops", "variant", "goodput_kbps", "goodput_stdev",
+             "retransmits", "timeouts", "samples"]
+        )
+        for variant in sweep.variants:
+            for hops in sweep.hops:
+                point = sweep.points[(variant, hops)]
+                writer.writerow(
+                    [sweep.window, hops, variant,
+                     f"{point.goodput_kbps:.3f}", f"{point.goodput_stdev:.3f}",
+                     f"{point.retransmits:.3f}", f"{point.timeouts:.3f}",
+                     point.samples]
+                )
+    return target
+
+
+def export_series_csv(
+    series: Sequence[Tuple[float, float]],
+    path: PathLike,
+    x_label: str = "time_s",
+    y_label: str = "value",
+) -> Path:
+    """A single (x, y) series — cwnd traces, throughput dynamics, …"""
+    target = _open_writer(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label, y_label])
+        for x, y in series:
+            writer.writerow([f"{x:.6f}", f"{y:.6f}"])
+    return target
+
+
+def export_multi_series_csv(
+    series_by_name: Dict[str, Sequence[Tuple[float, float]]],
+    path: PathLike,
+    x_label: str = "time_s",
+) -> Path:
+    """Several named series in long form: (name, x, y) rows."""
+    target = _open_writer(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", x_label, "value"])
+        for name, series in series_by_name.items():
+            for x, y in series:
+                writer.writerow([name, f"{x:.6f}", f"{y:.6f}"])
+    return target
+
+
+def export_coexistence_csv(
+    points: Iterable[CoexistencePoint],
+    label_a: str,
+    label_b: str,
+    path: PathLike,
+) -> Path:
+    """Figs 5.16–5.18 rows."""
+    target = _open_writer(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["hops", "variant_a", "goodput_a_kbps", "variant_b",
+             "goodput_b_kbps", "jain_index"]
+        )
+        for point in points:
+            writer.writerow(
+                [point.hops, label_a, f"{point.goodput_a_kbps:.3f}",
+                 label_b, f"{point.goodput_b_kbps:.3f}", f"{point.fairness:.4f}"]
+            )
+    return target

@@ -1,0 +1,178 @@
+"""Per-figure data generators.
+
+One function per paper artefact; each returns plain data structures (dicts /
+lists of tuples) that the benchmarks print, assert on, and the examples
+plot as ASCII charts.  Figure numbering follows the paper:
+
+=================  =========================================================
+fig_cwnd_traces    Figs 5.2–5.7 (cwnd vs time, chain, one flow per variant)
+throughput_sweep   Figs 5.8–5.10 (goodput vs hops per advertised window)
+retransmit_sweep   Figs 5.11–5.13 (retransmissions vs hops) — same runs
+fig_coexistence    Figs 5.16–5.18 (two flows on a cross + Jain index)
+fig_dynamics       Figs 5.19–5.22 (three staggered flows' rate series)
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import PAPER_VARIANTS, ScenarioConfig, SweepConfig
+from .runner import RunResult, run_chain, run_cross
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated result at one (variant, hops) grid point."""
+
+    goodput_kbps: float
+    goodput_stdev: float
+    retransmits: float
+    timeouts: float
+    samples: int
+
+
+@dataclass
+class SweepResult:
+    """The full Figure 5.8–5.13 grid for one advertised window."""
+
+    window: int
+    hops: Sequence[int]
+    variants: Sequence[str]
+    points: Dict[Tuple[str, int], SweepPoint] = field(default_factory=dict)
+
+    def goodput_series(self, variant: str) -> List[Tuple[int, float]]:
+        return [(h, self.points[(variant, h)].goodput_kbps) for h in self.hops]
+
+    def retransmit_series(self, variant: str) -> List[Tuple[int, float]]:
+        return [(h, self.points[(variant, h)].retransmits) for h in self.hops]
+
+
+def fig_cwnd_traces(
+    hops: int,
+    variants: Sequence[str] = PAPER_VARIANTS,
+    window: int = 32,
+    sim_time: float = 10.0,
+    seed: int = 1,
+    routing: str = "aodv",
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figs 5.2–5.7: one single-flow run per variant, returning cwnd traces."""
+    traces: Dict[str, List[Tuple[float, float]]] = {}
+    for variant in variants:
+        config = ScenarioConfig(
+            sim_time=sim_time, seed=seed, routing=routing, window=window
+        )
+        result = run_chain(hops, [variant], config=config)
+        traces[variant] = result.flows[0].cwnd_trace
+    return traces
+
+
+def throughput_retransmit_sweep(
+    window: int,
+    sweep: Optional[SweepConfig] = None,
+    variants: Sequence[str] = PAPER_VARIANTS,
+    routing: str = "aodv",
+) -> SweepResult:
+    """Figs 5.8–5.13: goodput and retransmissions vs hop count.
+
+    Each grid point averages over ``sweep.seeds`` independent runs.
+    """
+    sweep = sweep or SweepConfig.for_scale()
+    result = SweepResult(window=window, hops=tuple(sweep.hops), variants=tuple(variants))
+    for variant in variants:
+        for hops in sweep.hops:
+            goodputs: List[float] = []
+            retransmits: List[float] = []
+            timeouts: List[float] = []
+            for seed in sweep.seeds:
+                config = ScenarioConfig(
+                    sim_time=sweep.sim_time, seed=seed, routing=routing, window=window
+                )
+                run = run_chain(hops, [variant], config=config)
+                flow = run.flows[0]
+                goodputs.append(flow.goodput_kbps)
+                retransmits.append(float(flow.retransmits))
+                timeouts.append(float(flow.timeouts))
+            result.points[(variant, hops)] = SweepPoint(
+                goodput_kbps=statistics.mean(goodputs),
+                goodput_stdev=statistics.stdev(goodputs) if len(goodputs) > 1 else 0.0,
+                retransmits=statistics.mean(retransmits),
+                timeouts=statistics.mean(timeouts),
+                samples=len(goodputs),
+            )
+    return result
+
+
+@dataclass
+class CoexistencePoint:
+    """One cross-topology contest at a given hop count."""
+
+    hops: int
+    goodput_a_kbps: float
+    goodput_b_kbps: float
+    fairness: float
+
+
+def fig_coexistence(
+    variant_a: str,
+    variant_b: str,
+    hops_list: Sequence[int] = (4, 6, 8),
+    sim_time: float = 50.0,
+    seeds: Sequence[int] = (1, 2, 3),
+    window: int = 4,
+    routing: str = "aodv",
+) -> List[CoexistencePoint]:
+    """Figs 5.16–5.18: ``variant_a`` (horizontal) vs ``variant_b`` (vertical)
+    on an h-hop cross; goodputs and Jain fairness, averaged over seeds."""
+    points: List[CoexistencePoint] = []
+    for hops in hops_list:
+        a_vals: List[float] = []
+        b_vals: List[float] = []
+        fairness_vals: List[float] = []
+        for seed in seeds:
+            config = ScenarioConfig(
+                sim_time=sim_time, seed=seed, routing=routing, window=window
+            )
+            run = run_cross(hops, variant_a, variant_b, config=config)
+            a_vals.append(run.flows[0].goodput_kbps)
+            b_vals.append(run.flows[1].goodput_kbps)
+            fairness_vals.append(run.fairness)
+        points.append(
+            CoexistencePoint(
+                hops=hops,
+                goodput_a_kbps=statistics.mean(a_vals),
+                goodput_b_kbps=statistics.mean(b_vals),
+                fairness=statistics.mean(fairness_vals),
+            )
+        )
+    return points
+
+
+def fig_dynamics(
+    variant: str,
+    hops: int = 4,
+    starts: Sequence[float] = (0.0, 10.0, 20.0),
+    sim_time: float = 40.0,
+    seed: int = 1,
+    window: int = 8,
+    routing: str = "aodv",
+    sampler_interval: float = 1.0,
+) -> RunResult:
+    """Figs 5.19–5.22: three same-variant flows entering at 0/10/20 s on a
+    4-hop chain; per-flow throughput-dynamics series are recorded."""
+    config = ScenarioConfig(
+        sim_time=sim_time,
+        seed=seed,
+        routing=routing,
+        window=window,
+        sampler_interval=sampler_interval,
+    )
+    return run_chain(
+        hops,
+        [variant] * len(starts),
+        config=config,
+        starts=starts,
+        record_dynamics=True,
+    )

@@ -1,0 +1,214 @@
+"""Scenario runners: build a network, attach flows, run, collect results.
+
+Three scenario shapes cover every figure in the paper:
+
+* :func:`run_chain` — h-hop chain, one or more (possibly staggered) flows
+  end-to-end (Simulations 1, 2 and 3B);
+* :func:`run_cross` — h-hop cross with one horizontal and one vertical flow
+  (Simulation 3A);
+* both return a :class:`RunResult` with per-flow goodput, retransmission
+  counts, cwnd traces and optional throughput-dynamics series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.drai import DraiEstimator, install_drai
+from ..phy.error_models import NoError, PacketErrorRate
+from ..routing import install_aodv_routing, install_static_routing
+from ..stats.fairness import jain_index
+from ..stats.throughput import ThroughputSampler
+from ..topology import Network, build_chain, build_cross
+from ..traffic import FtpFlow, start_ftp
+from .config import ScenarioConfig
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one flow."""
+
+    variant: str
+    goodput_kbps: float
+    delivered_packets: int
+    data_sent: int
+    retransmits: int
+    timeouts: int
+    fast_retransmits: int
+    start_time: float
+    cwnd_trace: List[Tuple[float, float]]
+    rate_series_kbps: List[Tuple[float, float]] = field(default_factory=list)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scenario run."""
+
+    flows: List[FlowResult]
+    sim_time: float
+    mac_drops: int
+    link_failures: int
+
+    @property
+    def total_goodput_kbps(self) -> float:
+        return sum(flow.goodput_kbps for flow in self.flows)
+
+    @property
+    def fairness(self) -> float:
+        """Jain index over the flows' goodputs (Fig. 5.14)."""
+        return jain_index([flow.goodput_kbps for flow in self.flows])
+
+
+def _needs_drai(variants: Sequence[str]) -> bool:
+    return any(v.startswith("muzha") for v in variants)
+
+
+def _install_routing(network: Network, config: ScenarioConfig) -> None:
+    if config.routing == "aodv":
+        install_aodv_routing(network.nodes, network.sim)
+    elif config.routing == "static":
+        install_static_routing(network.nodes, network.channel)
+    else:
+        raise ValueError(f"unknown routing {config.routing!r}")
+
+
+def _error_model(config: ScenarioConfig):
+    if config.packet_error_rate > 0:
+        return PacketErrorRate(config.packet_error_rate)
+    return NoError()
+
+
+def _finish(
+    network: Network,
+    flows: List[FtpFlow],
+    samplers: List[Optional[ThroughputSampler]],
+    config: ScenarioConfig,
+) -> RunResult:
+    network.sim.run(until=config.sim_time)
+    results: List[FlowResult] = []
+    for flow, sampler in zip(flows, samplers):
+        active = max(config.sim_time - flow.start_time, 1e-9)
+        results.append(
+            FlowResult(
+                variant=flow.variant,
+                goodput_kbps=flow.goodput_kbps(active),
+                delivered_packets=flow.sink.delivered_packets,
+                data_sent=flow.sender.stats.data_sent,
+                retransmits=flow.sender.stats.retransmits,
+                timeouts=flow.sender.stats.timeouts,
+                fast_retransmits=flow.sender.stats.fast_retransmits,
+                start_time=flow.start_time,
+                cwnd_trace=list(flow.sender.cwnd_trace),
+                rate_series_kbps=sampler.rates_kbps() if sampler else [],
+            )
+        )
+    mac_drops = sum(n.mac.counters.drops_retry_limit for n in network.nodes)
+    link_failures = sum(
+        n.routing.counters.link_failures for n in network.nodes if n.routing
+    )
+    return RunResult(
+        flows=results,
+        sim_time=config.sim_time,
+        mac_drops=mac_drops,
+        link_failures=link_failures,
+    )
+
+
+def run_chain(
+    hops: int,
+    variants: Sequence[str],
+    config: Optional[ScenarioConfig] = None,
+    starts: Optional[Sequence[float]] = None,
+    record_dynamics: bool = False,
+) -> RunResult:
+    """Run ``len(variants)`` end-to-end flows over an h-hop chain.
+
+    Flow ``i`` uses ``variants[i]``, starts at ``starts[i]`` (default 0) and
+    runs node 0 -> node h on its own port pair.
+    """
+    config = config or ScenarioConfig()
+    starts = list(starts or [0.0] * len(variants))
+    if len(starts) != len(variants):
+        raise ValueError("starts and variants must have equal length")
+    network = build_chain(
+        hops,
+        seed=config.seed,
+        error_model=_error_model(config),
+        ifq_capacity=config.ifq_capacity,
+    )
+    _install_routing(network, config)
+    if _needs_drai(variants):
+        install_drai(network.nodes, network.sim, params=config.drai_params)
+    src, dst = network.nodes[0], network.nodes[-1]
+    flows: List[FtpFlow] = []
+    samplers: List[Optional[ThroughputSampler]] = []
+    for i, (variant, start) in enumerate(zip(variants, starts)):
+        flow = start_ftp(
+            network.sim,
+            src,
+            dst,
+            variant=variant,
+            window=config.window,
+            mss=config.mss,
+            sport=1000 + i,
+            dport=2000 + i,
+            start_time=start,
+        )
+        flows.append(flow)
+        if record_dynamics:
+            sampler = ThroughputSampler(
+                network.sim, flow.sink, interval=config.sampler_interval
+            )
+            network.sim.at(start, sampler.start)
+            samplers.append(sampler)
+        else:
+            samplers.append(None)
+    return _finish(network, flows, samplers, config)
+
+
+def run_cross(
+    hops: int,
+    variant_horizontal: str,
+    variant_vertical: str,
+    config: Optional[ScenarioConfig] = None,
+    record_dynamics: bool = False,
+) -> RunResult:
+    """Run the Fig. 5.15 cross: one flow left->right, one top->bottom."""
+    config = config or ScenarioConfig()
+    network = build_cross(
+        hops,
+        seed=config.seed,
+        error_model=_error_model(config),
+        ifq_capacity=config.ifq_capacity,
+    )
+    _install_routing(network, config)
+    variants = (variant_horizontal, variant_vertical)
+    if _needs_drai(variants):
+        install_drai(network.nodes, network.sim, params=config.drai_params)
+    endpoints = [
+        (network.left, network.right),
+        (network.top, network.bottom),
+    ]
+    flows: List[FtpFlow] = []
+    samplers: List[Optional[ThroughputSampler]] = []
+    for i, (variant, (src, dst)) in enumerate(zip(variants, endpoints)):
+        flow = start_ftp(
+            network.sim,
+            src,
+            dst,
+            variant=variant,
+            window=config.window,
+            mss=config.mss,
+            sport=1000 + i,
+            dport=2000 + i,
+        )
+        flows.append(flow)
+        if record_dynamics:
+            sampler = ThroughputSampler(
+                network.sim, flow.sink, interval=config.sampler_interval
+            ).start()
+            samplers.append(sampler)
+        else:
+            samplers.append(None)
+    return _finish(network, flows, samplers, config)

@@ -1,0 +1,26 @@
+"""IEEE 802.11 DCF MAC layer (substrate S3).
+
+CSMA/CA with physical + virtual (NAV) carrier sense, RTS/CTS/DATA/ACK
+exchange, binary exponential backoff, retry limits with link-failure
+callbacks, and a medium-utilisation meter feeding the DRAI estimator.
+"""
+
+from .dcf import DcfMac, DcfState, MacListener, QueuedPacket
+from .frames import BROADCAST, FrameKind, MacFrame
+from .nav import Nav
+from .params import MacParams
+from .stats import MacCounters, MediumUtilizationMeter
+
+__all__ = [
+    "BROADCAST",
+    "DcfMac",
+    "DcfState",
+    "FrameKind",
+    "MacCounters",
+    "MacFrame",
+    "MacListener",
+    "MacParams",
+    "MediumUtilizationMeter",
+    "Nav",
+    "QueuedPacket",
+]

@@ -1,0 +1,42 @@
+"""MAC frame types for the 802.11 DCF exchange (RTS/CTS/DATA/ACK)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+#: Link-layer broadcast address.
+BROADCAST = -1
+
+
+class FrameKind(Enum):
+    RTS = "rts"
+    CTS = "cts"
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass
+class MacFrame:
+    """One frame on the air.
+
+    ``duration`` is the 802.11 Duration/ID field in seconds: how long the
+    medium will remain reserved *after* this frame ends.  Third-party
+    stations use it to set their NAV.
+    """
+
+    kind: FrameKind
+    src: int
+    dst: int
+    size_bytes: int
+    duration: float = 0.0
+    #: Sequence number for receiver-side duplicate detection; stable across
+    #: retransmissions of the same MSDU.
+    frame_id: int = 0
+    #: The network-layer packet carried by DATA frames.
+    payload: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == BROADCAST

@@ -1,0 +1,34 @@
+"""Network Allocation Vector: 802.11 virtual carrier sense."""
+
+from __future__ import annotations
+
+
+class Nav:
+    """Tracks the time until which the medium is virtually reserved."""
+
+    def __init__(self) -> None:
+        self._until = 0.0
+
+    @property
+    def until(self) -> float:
+        """Absolute time at which the current reservation ends."""
+        return self._until
+
+    def set(self, until: float) -> bool:
+        """Extend the reservation to ``until`` if later than the current one.
+
+        Returns True if the NAV actually moved (callers use this to know
+        whether a medium-state re-evaluation is needed).
+        """
+        if until > self._until:
+            self._until = until
+            return True
+        return False
+
+    def busy(self, now: float) -> bool:
+        """True while the virtual reservation is still in effect."""
+        return now < self._until
+
+    def clear(self) -> None:
+        """Drop any reservation (used on channel reset in tests)."""
+        self._until = 0.0

@@ -1,0 +1,41 @@
+"""IEEE 802.11 DCF MAC parameters (DSSS PHY defaults, as in NS2 2.29).
+
+These constants drive every timing decision in the DCF state machine and are
+the same knobs the paper's NS2 setup used.  ``rts_threshold = 0`` means
+RTS/CTS protects every unicast data frame, the common MANET-study setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import units
+
+
+@dataclass(frozen=True)
+class MacParams:
+    """Timing, contention and framing constants for 802.11 DCF."""
+
+    slot_time: float = units.microseconds(20.0)
+    sifs: float = units.microseconds(10.0)
+    #: DIFS = SIFS + 2 * slot.
+    difs: float = units.microseconds(50.0)
+    cw_min: int = 31
+    cw_max: int = 1023
+    #: Retry limit for frames that failed before CTS arrived (SSRC).
+    short_retry_limit: int = 7
+    #: Retry limit for data frames that failed to be ACKed (SLRC).
+    long_retry_limit: int = 4
+    #: Unicast payloads >= this size use RTS/CTS; 0 = always.
+    rts_threshold: int = 0
+    #: MAC data header + FCS, bytes.
+    data_header_bytes: int = 28
+    rts_bytes: int = 20
+    cts_bytes: int = 14
+    ack_bytes: int = 14
+    #: Extra guard added to CTS/ACK timeouts to absorb propagation delay.
+    timeout_guard: float = units.microseconds(40.0)
+
+    def next_cw(self, cw: int) -> int:
+        """Binary exponential backoff: double the window, capped at cw_max."""
+        return min(2 * (cw + 1) - 1, self.cw_max)

@@ -1,0 +1,69 @@
+"""Per-MAC counters and the medium-utilisation meter.
+
+The utilisation meter is a substrate for TCP Muzha's router-side DRAI: each
+node measures the fraction of wall-clock time its local medium was busy,
+which (together with IFQ occupancy) is the "network status" the paper says
+routers quantise into a rate-adjustment recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MacCounters:
+    """Event counters exposed by each DCF instance."""
+
+    data_tx: int = 0
+    data_rx: int = 0
+    rts_tx: int = 0
+    cts_tx: int = 0
+    ack_tx: int = 0
+    retries: int = 0
+    drops_retry_limit: int = 0
+    duplicates_rx: int = 0
+    broadcast_tx: int = 0
+    broadcast_rx: int = 0
+    rx_errors: int = 0
+
+
+class MediumUtilizationMeter:
+    """Accumulates how long the local medium has been busy.
+
+    Driven by the MAC's busy/idle transitions; readers call
+    :meth:`busy_time_since` with their own bookkeeping of the last read.
+    """
+
+    def __init__(self) -> None:
+        self._busy_accum = 0.0
+        self._busy_since: float = -1.0  # <0 means currently idle
+
+    def on_busy(self, now: float) -> None:
+        if self._busy_since < 0:
+            self._busy_since = now
+
+    def on_idle(self, now: float) -> None:
+        if self._busy_since >= 0:
+            self._busy_accum += now - self._busy_since
+            self._busy_since = -1.0
+
+    def total_busy_time(self, now: float) -> float:
+        """Cumulative busy seconds up to ``now``."""
+        total = self._busy_accum
+        if self._busy_since >= 0:
+            total += now - self._busy_since
+        return total
+
+    def busy_fraction(self, since: float, since_busy_time: float, now: float) -> float:
+        """Busy fraction over the window (``since``, ``now``].
+
+        ``since_busy_time`` is the value :meth:`total_busy_time` returned at
+        ``since``; the caller keeps it so the meter itself stays stateless
+        with respect to readers.
+        """
+        window = now - since
+        if window <= 0:
+            return 0.0
+        fraction = (self.total_busy_time(now) - since_busy_time) / window
+        return min(1.0, max(0.0, fraction))

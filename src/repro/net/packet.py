@@ -1,0 +1,55 @@
+"""Network-layer packets.
+
+A :class:`Packet` models an IP datagram.  It carries the paper's new IP
+option, **AVBW-S** (Available Bandwidth Status): the TCP Muzha sender
+initialises it to the maximum DRAI and every node along the path lowers it
+to its own DRAI if smaller, so the value arriving at the receiver is the
+path-minimum rate-adjustment recommendation (the MRAI).
+
+Non-Muzha traffic leaves ``avbw_s`` as ``None`` — the option is absent, so
+routers skip it, matching the "protocol independence" argument of §4.4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Network-layer broadcast address (mirrors the MAC broadcast).
+IP_BROADCAST = -1
+
+#: Bytes of IP header carried by every packet.
+IP_HEADER_BYTES = 20
+
+#: Default initial TTL.
+DEFAULT_TTL = 64
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """An IP datagram travelling through the simulated network."""
+
+    src: int
+    dst: int
+    protocol: str
+    size_bytes: int
+    payload: object = field(repr=False, default=None)
+    ttl: int = DEFAULT_TTL
+    #: AVBW-S IP option: path-minimum DRAI so far, or None when absent.
+    avbw_s: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    def aged_copy(self) -> "Packet":
+        """Copy with decremented TTL (used when re-broadcasting floods)."""
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            protocol=self.protocol,
+            size_bytes=self.size_bytes,
+            payload=self.payload,
+            ttl=self.ttl - 1,
+            avbw_s=self.avbw_s,
+        )

@@ -1,0 +1,137 @@
+"""Interface queues (IFQ) between the network layer and the MAC.
+
+The paper's configuration is a 50-packet drop-tail IFQ; its occupancy is the
+main input to the router-side DRAI.  A classic RED variant is provided as an
+extension (RED is one of the router-assisted baselines discussed in the
+paper's related work).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..mac.dcf import QueuedPacket
+
+
+class DropTailQueue:
+    """FIFO queue with a hard capacity; arrivals beyond it are dropped."""
+
+    def __init__(self, capacity: int = 50) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[QueuedPacket] = deque()
+        #: Called after a successful enqueue (wired to ``mac.wakeup``).
+        self.on_wakeup: Optional[Callable[[], None]] = None
+        #: Called with the entry that was dropped on overflow.
+        self.on_drop: Optional[Callable[[QueuedPacket], None]] = None
+        self.enqueued = 0
+        self.dequeued = 0
+        self.drops = 0
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def occupancy(self) -> float:
+        """Queue fill fraction in [0, 1]."""
+        return len(self._items) / self.capacity
+
+    def enqueue(self, entry: QueuedPacket) -> bool:
+        """Append ``entry``; returns False (and counts a drop) on overflow."""
+        if not self._admit(entry):
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(entry)
+            return False
+        self._items.append(entry)
+        self.enqueued += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        if self.on_wakeup is not None:
+            self.on_wakeup()
+        return True
+
+    def dequeue(self) -> Optional[QueuedPacket]:
+        """Pop the head entry, or None when empty."""
+        if not self._items:
+            return None
+        self.dequeued += 1
+        return self._items.popleft()
+
+    def remove_if(self, predicate: Callable[[QueuedPacket], bool]) -> list:
+        """Remove and return queued entries matching ``predicate``.
+
+        Used by routing to pull packets headed for a broken next hop; the
+        caller decides whether to salvage or drop them, so this does not
+        count them as queue drops.
+        """
+        removed = [e for e in self._items if predicate(e)]
+        if removed:
+            self._items = deque(e for e in self._items if not predicate(e))
+        return removed
+
+    # -- admission policy (overridden by RED) ----------------------------------
+
+    def _admit(self, entry: QueuedPacket) -> bool:
+        return len(self._items) < self.capacity
+
+
+class RedQueue(DropTailQueue):
+    """Random Early Detection queue (Floyd & Jacobson 1993), drop-mode.
+
+    Maintains an EWMA of the queue length; arrivals are dropped with a
+    probability that rises linearly from 0 at ``min_th`` to ``max_p`` at
+    ``max_th``, and always beyond ``max_th``.  The classic ``count``
+    correction spreads drops out in time.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 50,
+        min_th: float = 5.0,
+        max_th: float = 15.0,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        rng=None,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0 < min_th < max_th:
+            raise ValueError("need 0 < min_th < max_th")
+        if not 0 < max_p <= 1:
+            raise ValueError("max_p must be in (0, 1]")
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.weight = weight
+        self.avg = 0.0
+        self._count = -1
+        if rng is None:
+            import random
+
+            rng = random.Random(0)
+        self._rng = rng
+        self.early_drops = 0
+
+    def _admit(self, entry: QueuedPacket) -> bool:
+        if len(self._items) >= self.capacity:
+            return False
+        self.avg = (1 - self.weight) * self.avg + self.weight * len(self._items)
+        if self.avg < self.min_th:
+            self._count = -1
+            return True
+        if self.avg >= self.max_th:
+            self._count = 0
+            self.early_drops += 1
+            return False
+        self._count += 1
+        p_base = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+        denom = 1.0 - self._count * p_base
+        p_actual = p_base / denom if denom > 0 else 1.0
+        if self._rng.random() < p_actual:
+            self._count = 0
+            self.early_drops += 1
+            return False
+        return True

@@ -1,0 +1,126 @@
+"""The shared wireless channel.
+
+The channel owns the geometry: which radios hear which transmissions and
+whether they can decode them.  On each transmission it fans the signal out to
+every radio inside carrier-sense range, with per-link propagation delay, and
+consults the :class:`~repro.phy.error_models.ErrorModel` at reception time
+for random loss.
+
+Neighbour sets are cached; topologies in the paper are static, but the cache
+is invalidated automatically when radios are added or moved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import units
+from ..sim.simulator import Simulator
+from .error_models import ErrorModel, NoError
+from .frame_timing import PhyParams
+from .position import Position
+from .propagation import DiskPropagation
+from .radio import Radio, Signal
+
+
+class WirelessChannel:
+    """Broadcast medium connecting all registered radios."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: Optional[DiskPropagation] = None,
+        phy: Optional[PhyParams] = None,
+        error_model: Optional[ErrorModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.propagation = propagation or DiskPropagation()
+        self.phy = phy or PhyParams()
+        self.error_model = error_model or NoError()
+        self._positions: Dict[Radio, Position] = {}
+        # radio -> [(peer, receivable, prop_delay, rx_power)]
+        self._neighbors: Optional[
+            Dict[Radio, List[Tuple[Radio, bool, float, float]]]
+        ] = None
+        self._error_rng = sim.stream("phy.error")
+        #: Total number of frame transmissions started on this channel.
+        self.transmissions = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def register(self, radio: Radio, position: Position) -> None:
+        """Attach ``radio`` to the channel at ``position``."""
+        self._positions[radio] = position
+        self._neighbors = None
+
+    def move(self, radio: Radio, position: Position) -> None:
+        """Relocate ``radio`` (invalidates the neighbour cache)."""
+        if radio not in self._positions:
+            raise KeyError(f"radio {radio.node_id} is not on this channel")
+        self._positions[radio] = position
+        self._neighbors = None
+
+    def position_of(self, radio: Radio) -> Position:
+        return self._positions[radio]
+
+    def _neighbor_map(self) -> Dict[Radio, List[Tuple[Radio, bool, float, float]]]:
+        if self._neighbors is None:
+            table: Dict[Radio, List[Tuple[Radio, bool, float, float]]] = {}
+            radios = list(self._positions)
+            for src in radios:
+                src_pos = self._positions[src]
+                entries: List[Tuple[Radio, bool, float, float]] = []
+                for dst in radios:
+                    if dst is src:
+                        continue
+                    dst_pos = self._positions[dst]
+                    if not self.propagation.can_sense(src_pos, dst_pos):
+                        continue
+                    distance = src_pos.distance_to(dst_pos)
+                    receivable = self.propagation.can_receive(src_pos, dst_pos)
+                    delay = units.propagation_delay(distance)
+                    power = self.propagation.rx_power(distance)
+                    entries.append((dst, receivable, delay, power))
+                table[src] = entries
+            self._neighbors = table
+        return self._neighbors
+
+    def neighbors_of(self, radio: Radio) -> List[Radio]:
+        """Radios within decode range of ``radio`` (static disk model)."""
+        return [
+            peer
+            for peer, receivable, _, _ in self._neighbor_map()[radio]
+            if receivable
+        ]
+
+    # -- transmission -------------------------------------------------------------
+
+    def transmit(self, src: Radio, frame: object, duration: float) -> None:
+        """Put ``frame`` on the air from ``src`` for ``duration`` seconds.
+
+        The caller (MAC) has already decided the medium is usable; the channel
+        faithfully models the consequences if it was wrong (collisions).
+        """
+        self.transmissions += 1
+        src.begin_transmit(duration)
+        self.sim.after(duration, src.end_transmit, name="phy.tx_end")
+        for dst, receivable, delay, power in self._neighbor_map()[src]:
+            signal = Signal(
+                frame, receivable, self.sim.now + delay + duration, power=power
+            )
+            self.sim.after(delay, self._arrive, dst, signal, name="phy.sig_start")
+            self.sim.after(
+                delay + duration, self._depart, dst, signal, name="phy.sig_end"
+            )
+
+    def _arrive(self, dst: Radio, signal: Signal) -> None:
+        dst.signal_start(signal)
+
+    def _depart(self, dst: Radio, signal: Signal) -> None:
+        corrupted_by_medium = False
+        if signal.receivable and not signal.corrupted:
+            nbytes = getattr(signal.frame, "size_bytes", 0)
+            corrupted_by_medium = self.error_model.frame_corrupted(
+                self._error_rng, nbytes, self.sim.now
+            )
+        dst.signal_end(signal, corrupted_by_medium)

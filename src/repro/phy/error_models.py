@@ -1,0 +1,102 @@
+"""Link error models for random (non-congestion) loss.
+
+The paper's central claim for TCP Muzha is that it distinguishes congestion
+loss from *random* loss caused by the lossy wireless medium.  These models
+inject exactly that kind of loss at frame reception time, independent of any
+queueing behaviour.
+
+``UniformBitError`` draws i.i.d. bit errors; ``GilbertElliott`` produces the
+bursty errors the paper mentions ("the errors occur in bursts").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+
+class ErrorModel(ABC):
+    """Decides whether a frame of ``nbytes`` is corrupted in flight."""
+
+    @abstractmethod
+    def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
+        """Return True if the frame must be dropped as a random loss."""
+
+
+class NoError(ErrorModel):
+    """A perfect medium (the paper's congestion-only scenarios)."""
+
+    def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
+        return False
+
+
+class UniformBitError(ErrorModel):
+    """Independent bit errors at a fixed bit error rate (BER)."""
+
+    def __init__(self, ber: float) -> None:
+        if not 0.0 <= ber < 1.0:
+            raise ValueError(f"ber must be in [0, 1), got {ber}")
+        self.ber = ber
+
+    def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
+        if self.ber == 0.0:
+            return False
+        # P(frame error) = 1 - (1 - ber)^(8 * nbytes), computed in log space
+        # to stay accurate for tiny BERs.
+        log_ok = 8 * nbytes * math.log1p(-self.ber)
+        return rng.random() >= math.exp(log_ok)
+
+
+class PacketErrorRate(ErrorModel):
+    """Drops each frame independently with fixed probability ``per``.
+
+    Useful in tests where an exact loss probability (independent of frame
+    size) makes assertions straightforward.
+    """
+
+    def __init__(self, per: float) -> None:
+        if not 0.0 <= per <= 1.0:
+            raise ValueError(f"per must be in [0, 1], got {per}")
+        self.per = per
+
+    def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
+        return self.per > 0.0 and rng.random() < self.per
+
+
+class GilbertElliott(ErrorModel):
+    """Two-state Markov (Gilbert–Elliott) bursty error model.
+
+    The channel alternates between a GOOD state with low BER and a BAD state
+    with high BER.  State dwell times are exponential with the given mean
+    durations; the state is re-evaluated lazily from the elapsed time at each
+    frame, which is exact for a two-state Markov chain observed at arbitrary
+    instants.
+    """
+
+    def __init__(
+        self,
+        ber_good: float = 0.0,
+        ber_bad: float = 0.01,
+        mean_good: float = 1.0,
+        mean_bad: float = 0.05,
+    ) -> None:
+        if mean_good <= 0 or mean_bad <= 0:
+            raise ValueError("state dwell times must be positive")
+        self._good = UniformBitError(ber_good)
+        self._bad = UniformBitError(ber_bad)
+        self.mean_good = mean_good
+        self.mean_bad = mean_bad
+        self._state_good = True
+        self._state_until = 0.0
+
+    def _advance(self, rng: random.Random, now: float) -> None:
+        while self._state_until <= now:
+            self._state_good = not self._state_good
+            mean = self.mean_good if self._state_good else self.mean_bad
+            self._state_until += rng.expovariate(1.0 / mean)
+
+    def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
+        self._advance(rng, now)
+        model = self._good if self._state_good else self._bad
+        return model.frame_corrupted(rng, nbytes, now)

@@ -1,0 +1,34 @@
+"""Physical-layer timing parameters (802.11 DSSS, as in NS2's Mac/802_11).
+
+Control frames (RTS/CTS/ACK) go out at the *basic* rate; data frames at the
+*data* rate.  Every frame is preceded by the PLCP preamble + header, sent at
+1 Mb/s regardless of payload rate (long-preamble DSSS), which is a large and
+behaviourally important per-frame overhead at 2 Mb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import units
+
+
+@dataclass(frozen=True)
+class PhyParams:
+    """Radio timing/rate parameters.
+
+    Defaults model the paper's setup: 2 Mb/s half-duplex radios with DSSS
+    (802.11b-style) framing.
+    """
+
+    data_rate: float = units.mbps(2.0)
+    basic_rate: float = units.mbps(1.0)
+    plcp_overhead: float = units.microseconds(192.0)
+
+    def data_tx_time(self, nbytes: int) -> float:
+        """Airtime of a data frame of ``nbytes`` (MAC frame incl. headers)."""
+        return self.plcp_overhead + units.tx_duration(nbytes, self.data_rate)
+
+    def control_tx_time(self, nbytes: int) -> float:
+        """Airtime of a control frame of ``nbytes`` at the basic rate."""
+        return self.plcp_overhead + units.tx_duration(nbytes, self.basic_rate)

@@ -1,0 +1,25 @@
+"""2-D node positions.
+
+The paper's topologies are planar (chains along an axis, a cross in a plane),
+so positions are 2-D points in metres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the plane, in metres."""
+
+    x: float
+    y: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __repr__(self) -> str:
+        return f"({self.x:g}, {self.y:g})"

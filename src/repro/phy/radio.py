@@ -1,0 +1,148 @@
+"""Half-duplex radio: per-node transmit/receive state and collision tracking.
+
+A :class:`Radio` tracks every signal currently on the air at its location
+(delivered by the :class:`~repro.phy.channel.WirelessChannel`).  Reception
+fails when signals overlap (collision), when the node is itself transmitting
+(half duplex), or when the channel error model corrupts the frame (random
+loss).  The radio reports busy/idle transitions and frame outcomes to its MAC
+through the narrow :class:`PhyListener` interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from ..sim.simulator import Simulator
+
+
+class PhyListener(Protocol):
+    """What a MAC must implement to sit on top of a :class:`Radio`."""
+
+    def phy_channel_busy(self) -> None:
+        """The medium transitioned idle -> busy at this node."""
+
+    def phy_channel_idle(self) -> None:
+        """The medium transitioned busy -> idle at this node."""
+
+    def phy_receive(self, frame: object) -> None:
+        """A frame was decoded successfully."""
+
+    def phy_rx_error(self) -> None:
+        """A decodable frame was lost (collision or bit errors)."""
+
+
+class Signal:
+    """One transmission as heard at a particular radio."""
+
+    __slots__ = ("frame", "receivable", "corrupted", "end_time", "power")
+
+    def __init__(
+        self,
+        frame: object,
+        receivable: bool,
+        end_time: float,
+        power: float = 1.0,
+    ) -> None:
+        self.frame = frame
+        #: True when the sender is within decode range of this radio.
+        self.receivable = receivable
+        #: Set when an overlap or the node's own transmission ruins decoding.
+        self.corrupted = False
+        self.end_time = end_time
+        #: Relative received power (propagation-model units).
+        self.power = power
+
+
+class Radio:
+    """Physical-layer state machine for a single node.
+
+    ``capture_ratio`` implements the capture effect (NS2's ``CPThresh_``):
+    of two overlapping signals, the one at least that factor stronger
+    survives; comparable powers destroy both.  We default to 20 rather than
+    NS2's 10: under the pure d^-4 disk abstraction a threshold of 10 makes
+    the two-hops-away chain interferer (power ratio 16) harmless and chains
+    become implausibly lossless, while 20 restores the intra-chain
+    contention losses the paper's evaluation revolves around yet still lets
+    near-field frames (ratio >= 25) survive far-field interference.  See
+    DESIGN.md §6.
+    """
+
+    def __init__(
+        self, sim: Simulator, node_id: int, capture_ratio: float = 20.0
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.capture_ratio = capture_ratio
+        self.listener: Optional[PhyListener] = None
+        self._signals: List[Signal] = []
+        self._transmitting = False
+        self._tx_end = 0.0
+
+    # -- state inspection -----------------------------------------------------
+
+    @property
+    def transmitting(self) -> bool:
+        return self._transmitting
+
+    @property
+    def carrier_busy(self) -> bool:
+        """Physical carrier sense: own TX or any energy on the air here."""
+        return self._transmitting or bool(self._signals)
+
+    # -- transmit side (driven by the channel) ---------------------------------
+
+    def begin_transmit(self, duration: float) -> None:
+        """Enter TX state for ``duration``; ruins any in-progress receptions."""
+        if self._transmitting:
+            raise RuntimeError(f"radio {self.node_id} is already transmitting")
+        was_busy = self.carrier_busy
+        self._transmitting = True
+        self._tx_end = self.sim.now + duration
+        for signal in self._signals:
+            signal.corrupted = True
+        if not was_busy and self.listener is not None:
+            self.listener.phy_channel_busy()
+
+    def end_transmit(self) -> None:
+        """Leave TX state; reports idle if nothing remains on the air."""
+        self._transmitting = False
+        if not self.carrier_busy and self.listener is not None:
+            self.listener.phy_channel_idle()
+
+    # -- receive side (driven by the channel) ----------------------------------
+
+    def signal_start(self, signal: Signal) -> None:
+        """A transmission began arriving at this radio."""
+        was_busy = self.carrier_busy
+        if self._transmitting:
+            signal.corrupted = True
+        for other in self._signals:
+            # SINR-style symmetric capture: whichever signal is at least
+            # capture_ratio stronger survives the overlap; comparable powers
+            # destroy both.  This deviates from NS2's literal first-arrival
+            # lock (where weak early energy blots out a far stronger later
+            # frame) in favour of physical plausibility — see DESIGN.md §6;
+            # without it, background energy from 2x-range neighbours makes
+            # every busy region permanently undecodable.
+            if other.power >= signal.power * self.capture_ratio:
+                signal.corrupted = True
+            elif signal.power >= other.power * self.capture_ratio:
+                other.corrupted = True
+            else:
+                signal.corrupted = True
+                other.corrupted = True
+        self._signals.append(signal)
+        if not was_busy and self.listener is not None:
+            self.listener.phy_channel_busy()
+
+    def signal_end(self, signal: Signal, corrupted_by_medium: bool) -> None:
+        """A transmission finished arriving; deliver or report the loss."""
+        self._signals.remove(signal)
+        decodable = signal.receivable and not signal.corrupted
+        if self.listener is not None:
+            if decodable and not corrupted_by_medium:
+                self.listener.phy_receive(signal.frame)
+            elif signal.receivable:
+                self.listener.phy_rx_error()
+        if not self.carrier_busy and self.listener is not None:
+            self.listener.phy_channel_idle()

@@ -1,0 +1,21 @@
+"""Routing layer: static shortest-path routing and AODV."""
+
+from .aodv import AodvRouting, install_aodv_routing
+from .base import RoutingCounters, RoutingProtocol
+from .static import (
+    StaticRouting,
+    compute_static_routes,
+    install_static_routing,
+    neighbor_graph,
+)
+
+__all__ = [
+    "AodvRouting",
+    "RoutingCounters",
+    "RoutingProtocol",
+    "StaticRouting",
+    "compute_static_routes",
+    "install_aodv_routing",
+    "install_static_routing",
+    "neighbor_graph",
+]

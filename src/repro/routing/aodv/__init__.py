@@ -1,0 +1,18 @@
+"""AODV on-demand routing (substrate S5)."""
+
+from . import constants
+from .messages import Rerr, Rrep, Rreq
+from .protocol import AodvCounters, AodvRouting, install_aodv_routing
+from .table import RouteEntry, RoutingTable
+
+__all__ = [
+    "AodvCounters",
+    "AodvRouting",
+    "Rerr",
+    "Rrep",
+    "Rreq",
+    "RouteEntry",
+    "RoutingTable",
+    "constants",
+    "install_aodv_routing",
+]

@@ -1,0 +1,53 @@
+"""AODV protocol constants (RFC 3561 names, NS2-compatible values)."""
+
+from __future__ import annotations
+
+#: Protocol tag carried by AODV control packets.
+AODV_PROTOCOL = "aodv"
+
+#: Expected per-hop traversal time (RFC 3561 NODE_TRAVERSAL_TIME).  The RFC
+#: default of 40 ms assumes slow, loaded links; our RREQs occupy ~1 ms of
+#: air per hop, so 10 ms is a comfortable bound and keeps the discovery
+#: retry timer responsive (a lost RREQ broadcast otherwise stalls TCP for
+#: multiple seconds).
+NODE_TRAVERSAL_TIME = 0.01
+
+#: Maximum network diameter in hops.
+NET_DIAMETER = 35
+
+#: Upper bound on end-to-end control-packet travel time.
+NET_TRAVERSAL_TIME = 2 * NODE_TRAVERSAL_TIME * NET_DIAMETER
+
+#: How long to wait for an RREP before retrying an RREQ (doubled on each
+#: retry, per RFC 3561 binary exponential backoff).
+PATH_DISCOVERY_TIME = NET_TRAVERSAL_TIME
+
+#: How many times an RREQ is retried before the destination is declared
+#: unreachable and buffered packets are dropped.
+RREQ_RETRIES = 3
+
+#: RREQ rebroadcasts are delayed by a uniform random jitter in [0, this) so
+#: a flood does not synchronise its own collisions (RFC 3561 §6.3 note).
+RREQ_JITTER = 0.01
+
+#: A MAC retry exhaustion only *confirms* a broken link if another one to
+#: the same next hop happened within this window.  A single exhaustion on a
+#: congested static chain is almost always contention, not a broken link —
+#: tearing the route down for it turns transient congestion into a
+#: multi-hundred-millisecond outage (the classic TCP-over-MANET
+#: misinterpretation problem; cf. ATCP, TCP-ELFN literature).
+LINK_FAILURE_CONFIRM_WINDOW = 1.0
+
+#: Lifetime of an active route without traffic.
+ACTIVE_ROUTE_TIMEOUT = 10.0
+
+#: How long (orig, rreq_id) pairs stay in the duplicate-RREQ cache.
+RREQ_SEEN_LIFETIME = PATH_DISCOVERY_TIME
+
+#: Maximum packets buffered per destination while discovery runs.
+MAX_BUFFERED_PER_DST = 64
+
+#: Control message sizes (bytes, excluding the IP header).
+RREQ_BYTES = 24
+RREP_BYTES = 20
+RERR_BYTES = 12

@@ -1,0 +1,58 @@
+"""AODV control messages (RREQ / RREP / RERR)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class Rreq:
+    """Route request, flooded toward the destination."""
+
+    orig: int
+    orig_seq: int
+    rreq_id: int
+    dst: int
+    dst_seq: int
+    unknown_dst_seq: bool
+    hop_count: int = 0
+
+    def hopped(self) -> "Rreq":
+        """Copy with the hop counter incremented (for rebroadcast)."""
+        return Rreq(
+            orig=self.orig,
+            orig_seq=self.orig_seq,
+            rreq_id=self.rreq_id,
+            dst=self.dst,
+            dst_seq=self.dst_seq,
+            unknown_dst_seq=self.unknown_dst_seq,
+            hop_count=self.hop_count + 1,
+        )
+
+
+@dataclass
+class Rrep:
+    """Route reply, unicast back along the reverse path."""
+
+    orig: int
+    dst: int
+    dst_seq: int
+    lifetime: float
+    hop_count: int = 0
+
+    def hopped(self) -> "Rrep":
+        return Rrep(
+            orig=self.orig,
+            dst=self.dst,
+            dst_seq=self.dst_seq,
+            lifetime=self.lifetime,
+            hop_count=self.hop_count + 1,
+        )
+
+
+@dataclass
+class Rerr:
+    """Route error listing now-unreachable destinations."""
+
+    unreachable: List[Tuple[int, int]] = field(default_factory=list)

@@ -1,0 +1,319 @@
+"""AODV: Ad hoc On-demand Distance Vector routing (RFC 3561, simplified
+exactly as the common NS2 configuration is):
+
+* on-demand RREQ flooding with duplicate suppression and retry/backoff;
+* destination-only RREPs unicast along the reverse path;
+* link-failure detection from MAC retry exhaustion (no HELLO beacons,
+  matching NS2's link-layer detection mode);
+* RERR dissemination and sequence-number-based loop freedom;
+* packet buffering per destination while discovery is in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...mac.frames import BROADCAST
+from ...net.packet import IP_HEADER_BYTES, Packet
+from ...sim.simulator import Simulator
+from ...sim.timer import Timer
+from ..base import RoutingProtocol
+from . import constants as C
+from .messages import Rerr, Rrep, Rreq
+from .table import RoutingTable
+
+
+@dataclass
+class PendingDiscovery:
+    """State for one in-flight route discovery."""
+
+    dst: int
+    retries: int = 0
+    buffered: List[Packet] = field(default_factory=list)
+    timer: Optional[Timer] = None
+
+
+@dataclass
+class AodvCounters:
+    """AODV-specific counters (extends the base routing counters)."""
+
+    rreq_tx: int = 0
+    rreq_rx: int = 0
+    rrep_tx: int = 0
+    rrep_rx: int = 0
+    rerr_tx: int = 0
+    rerr_rx: int = 0
+    discoveries: int = 0
+    discovery_failures: int = 0
+    buffered_drops: int = 0
+
+
+class AodvRouting(RoutingProtocol):
+    """Per-node AODV instance."""
+
+    control_protocol = C.AODV_PROTOCOL
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__()
+        self.sim = sim
+        self.table = RoutingTable()
+        self.seq_no = 0
+        self.rreq_id = 0
+        self.aodv = AodvCounters()
+        self._pending: Dict[int, PendingDiscovery] = {}
+        self._rreq_seen: Dict[Tuple[int, int], float] = {}
+        self._rerr_sent: Dict[Tuple[int, int], float] = {}
+        #: next_hop -> time of the most recent unconfirmed MAC failure.
+        self._suspect_links: Dict[int, float] = {}
+
+    # -- forwarding interface ----------------------------------------------------
+
+    def next_hop(self, dst: int) -> Optional[int]:
+        entry = self.table.lookup(dst, self.sim.now)
+        if entry is None:
+            return None
+        self.table.refresh(dst, self.sim.now + C.ACTIVE_ROUTE_TIMEOUT)
+        return entry.next_hop
+
+    def on_no_route(self, packet: Packet) -> None:
+        pending = self._pending.get(packet.dst)
+        if pending is None:
+            pending = PendingDiscovery(packet.dst)
+            self._pending[packet.dst] = pending
+            self._send_rreq(pending)
+        if len(pending.buffered) >= C.MAX_BUFFERED_PER_DST:
+            self.aodv.buffered_drops += 1
+            self.counters.no_route_drops += 1
+            return
+        pending.buffered.append(packet)
+
+    def on_data_packet(self, packet: Packet, from_addr: int) -> None:
+        # Traffic keeps routes alive in both directions, per RFC 3561 §6.2.
+        lifetime = self.sim.now + C.ACTIVE_ROUTE_TIMEOUT
+        self.table.refresh(packet.src, lifetime)
+        self.table.refresh(packet.dst, lifetime)
+        self.table.refresh(from_addr, lifetime)
+
+    # -- discovery ----------------------------------------------------------------
+
+    def _send_rreq(self, pending: PendingDiscovery) -> None:
+        assert self.node is not None
+        self.seq_no += 1
+        self.rreq_id += 1
+        self.aodv.discoveries += 1
+        self.aodv.rreq_tx += 1
+        self.counters.control_tx += 1
+        known = self.table.get(pending.dst)
+        rreq = Rreq(
+            orig=self.node.node_id,
+            orig_seq=self.seq_no,
+            rreq_id=self.rreq_id,
+            dst=pending.dst,
+            dst_seq=known.seq if known is not None else 0,
+            unknown_dst_seq=known is None,
+        )
+        self._rreq_seen[(rreq.orig, rreq.rreq_id)] = (
+            self.sim.now + C.RREQ_SEEN_LIFETIME
+        )
+        self.node.send_control(self._control_packet(rreq, C.RREQ_BYTES), BROADCAST)
+        if pending.timer is None:
+            pending.timer = Timer(
+                self.sim, lambda: self._discovery_timeout(pending.dst), name="aodv.rreq"
+            )
+        pending.timer.start(C.PATH_DISCOVERY_TIME * (2 ** pending.retries))
+
+    def _discovery_timeout(self, dst: int) -> None:
+        pending = self._pending.get(dst)
+        if pending is None:
+            return
+        if pending.retries < C.RREQ_RETRIES:
+            pending.retries += 1
+            self._send_rreq(pending)
+            return
+        # Destination unreachable: drop everything buffered for it.
+        self.aodv.discovery_failures += 1
+        self.aodv.buffered_drops += len(pending.buffered)
+        self.counters.no_route_drops += len(pending.buffered)
+        self._clear_pending(dst)
+
+    def _clear_pending(self, dst: int) -> None:
+        pending = self._pending.pop(dst, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.stop()
+
+    def _flush_pending(self, dst: int) -> None:
+        """A route appeared: release buffered packets for ``dst``."""
+        assert self.node is not None
+        pending = self._pending.pop(dst, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.stop()
+        for packet in pending.buffered:
+            self.node.dispatch(packet)
+
+    # -- control-plane receive ------------------------------------------------------
+
+    def receive_control(self, packet: Packet, from_addr: int) -> None:
+        self.counters.control_rx += 1
+        message = packet.payload
+        if isinstance(message, Rreq):
+            self._receive_rreq(message, packet, from_addr)
+        elif isinstance(message, Rrep):
+            self._receive_rrep(message, from_addr)
+        elif isinstance(message, Rerr):
+            self._receive_rerr(message, from_addr)
+
+    def _receive_rreq(self, rreq: Rreq, packet: Packet, from_addr: int) -> None:
+        assert self.node is not None
+        self.aodv.rreq_rx += 1
+        key = (rreq.orig, rreq.rreq_id)
+        if self._rreq_seen.get(key, 0.0) > self.sim.now:
+            return
+        self._rreq_seen[key] = self.sim.now + C.RREQ_SEEN_LIFETIME
+
+        # Reverse route toward the originator.
+        hops_to_orig = rreq.hop_count + 1
+        lifetime = self.sim.now + C.ACTIVE_ROUTE_TIMEOUT
+        self.table.update(rreq.orig, from_addr, hops_to_orig, rreq.orig_seq, lifetime)
+        self._flush_pending(rreq.orig)
+
+        if rreq.dst == self.node.node_id:
+            # RFC 3561 §6.6.1: the destination bumps its own sequence number
+            # to at least the requested one before replying.
+            self.seq_no = max(self.seq_no + 1, rreq.dst_seq)
+            rrep = Rrep(
+                orig=rreq.orig,
+                dst=self.node.node_id,
+                dst_seq=self.seq_no,
+                lifetime=C.ACTIVE_ROUTE_TIMEOUT,
+            )
+            self._send_rrep(rrep, from_addr)
+            return
+
+        if packet.ttl <= 1:
+            return
+        forwarded = packet.aged_copy()
+        forwarded.payload = rreq.hopped()
+        self.aodv.rreq_tx += 1
+        self.counters.control_tx += 1
+        # Jitter the rebroadcast so neighbouring nodes that all heard the
+        # same RREQ do not flood in lockstep and collide.
+        jitter = self.sim.stream("aodv.jitter").uniform(0.0, C.RREQ_JITTER)
+        self.sim.after(jitter, self.node.send_control, forwarded, BROADCAST)
+
+    def _send_rrep(self, rrep: Rrep, next_hop: int) -> None:
+        assert self.node is not None
+        self.aodv.rrep_tx += 1
+        self.counters.control_tx += 1
+        self.node.send_control(self._control_packet(rrep, C.RREP_BYTES), next_hop)
+
+    def _receive_rrep(self, rrep: Rrep, from_addr: int) -> None:
+        assert self.node is not None
+        self.aodv.rrep_rx += 1
+        hops_to_dst = rrep.hop_count + 1
+        lifetime = self.sim.now + rrep.lifetime
+        self.table.update(rrep.dst, from_addr, hops_to_dst, rrep.dst_seq, lifetime)
+        if rrep.orig == self.node.node_id:
+            self._flush_pending(rrep.dst)
+            return
+        reverse = self.table.lookup(rrep.orig, self.sim.now)
+        if reverse is None:
+            return  # reverse path evaporated; originator will retry
+        self._send_rrep(rrep.hopped(), reverse.next_hop)
+
+    # -- failure handling -------------------------------------------------------------
+
+    def on_link_ok(self, next_hop: int) -> None:
+        # A delivered frame clears any single-strike suspicion on the link.
+        self._suspect_links.pop(next_hop, None)
+
+    def _salvageable(self, packet: Packet) -> bool:
+        """Data packets with TTL budget can be re-routed; control packets
+        have their own retry logic (RREQ retries) and are never salvaged."""
+        return (
+            packet.protocol != self.control_protocol
+            and packet.dst != self.node.node_id
+            and packet.dst != BROADCAST
+            and packet.ttl > 1
+        )
+
+    def on_link_failure(self, next_hop: int, packet: Packet) -> None:
+        assert self.node is not None
+        self.counters.link_failures += 1
+        now = self.sim.now
+        last = self._suspect_links.get(next_hop)
+        self._suspect_links[next_hop] = now
+        if last is None or now - last > C.LINK_FAILURE_CONFIRM_WINDOW:
+            # First strike: treat as transient contention.  Re-dispatch the
+            # packet over the (still installed) route and keep the queue.
+            if self._salvageable(packet):
+                self.node.dispatch(packet)
+            return
+        del self._suspect_links[next_hop]
+        broken = self.table.invalidate_via(next_hop)
+        # Pull queued packets headed into the broken link and salvage them:
+        # they re-enter the discovery buffer and flow again once a route is
+        # re-established (dropping them would turn one MAC-level failure
+        # into a whole window of TCP losses).
+        stranded = self.node.ifq.remove_if(
+            lambda entry: entry.next_hop == next_hop
+        )
+        if broken:
+            rerr = Rerr(unreachable=[(e.dst, e.seq) for e in broken])
+            self._send_rerr(rerr)
+        if self._salvageable(packet):
+            self.on_no_route(packet)
+        for entry in stranded:
+            if self._salvageable(entry.packet):
+                self.on_no_route(entry.packet)
+
+    def _send_rerr(self, rerr: Rerr) -> None:
+        assert self.node is not None
+        self.aodv.rerr_tx += 1
+        self.counters.control_tx += 1
+        self.node.send_control(self._control_packet(rerr, C.RERR_BYTES), BROADCAST)
+
+    def _receive_rerr(self, rerr: Rerr, from_addr: int) -> None:
+        self.aodv.rerr_rx += 1
+        propagated: List[Tuple[int, int]] = []
+        for dst, seq in rerr.unreachable:
+            entry = self.table.get(dst)
+            if entry is not None and entry.valid and entry.next_hop == from_addr:
+                self.table.invalidate(dst)
+                propagated.append((dst, max(seq, entry.seq)))
+        if propagated:
+            key_time = self.sim.now
+            fresh = [
+                item
+                for item in propagated
+                if self._rerr_sent.get(item, 0.0) <= key_time
+            ]
+            for item in fresh:
+                self._rerr_sent[item] = key_time + 1.0
+            if fresh:
+                self._send_rerr(Rerr(unreachable=fresh))
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _control_packet(self, message: object, body_bytes: int) -> Packet:
+        assert self.node is not None
+        return Packet(
+            src=self.node.node_id,
+            dst=BROADCAST,
+            protocol=C.AODV_PROTOCOL,
+            size_bytes=IP_HEADER_BYTES + body_bytes,
+            payload=message,
+            ttl=C.NET_DIAMETER,
+        )
+
+
+def install_aodv_routing(nodes, sim: Simulator) -> Dict[int, AodvRouting]:
+    """Create and attach an :class:`AodvRouting` on every node."""
+    protocols: Dict[int, AodvRouting] = {}
+    for node in nodes:
+        routing = AodvRouting(sim)
+        routing.attach(node)
+        protocols[node.node_id] = routing
+    return protocols

@@ -1,0 +1,66 @@
+"""Routing protocol interface shared by static routing and AODV."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.node import Node
+from ..net.packet import Packet
+
+
+@dataclass
+class RoutingCounters:
+    """Counters every routing protocol maintains."""
+
+    no_route_drops: int = 0
+    link_failures: int = 0
+    control_tx: int = 0
+    control_rx: int = 0
+
+
+class RoutingProtocol(ABC):
+    """Base class for per-node routing protocol instances."""
+
+    #: Packets whose ``protocol`` equals this string are handed to
+    #: :meth:`receive_control` instead of being forwarded.
+    control_protocol: str = "routing"
+
+    def __init__(self) -> None:
+        self.node: Optional[Node] = None
+        self.counters = RoutingCounters()
+
+    def attach(self, node: Node) -> None:
+        """Bind this protocol instance to its node."""
+        self.node = node
+        node.set_routing(self)
+
+    def start(self) -> None:
+        """Hook called once when the simulation scenario starts."""
+
+    # -- required behaviour -------------------------------------------------
+
+    @abstractmethod
+    def next_hop(self, dst: int) -> Optional[int]:
+        """MAC address of the next hop toward ``dst``, or None if unknown."""
+
+    # -- optional behaviour --------------------------------------------------
+
+    def on_no_route(self, packet: Packet) -> None:
+        """Called when a packet cannot be routed; default: count and drop."""
+        self.counters.no_route_drops += 1
+
+    def on_link_failure(self, next_hop: int, packet: Packet) -> None:
+        """Called when the MAC exhausted retries toward ``next_hop``."""
+        self.counters.link_failures += 1
+
+    def on_link_ok(self, next_hop: int) -> None:
+        """Called when a unicast to ``next_hop`` was MAC-acknowledged."""
+
+    def receive_control(self, packet: Packet, from_addr: int) -> None:
+        """Called with control packets of :attr:`control_protocol`."""
+        self.counters.control_rx += 1
+
+    def on_data_packet(self, packet: Packet, from_addr: int) -> None:
+        """Called for every delivered/forwarded data packet (route refresh)."""

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel (substrate S1).
+
+Provides the scheduler, events, timers, seeded RNG streams, tracing, and the
+:class:`Simulator` facade that composes them for a single run.
+"""
+
+from .event import Event
+from .rng import RngRegistry, derive_seed
+from .scheduler import EventScheduler, SchedulerError
+from .simulator import Simulator
+from .timer import PeriodicTimer, Timer
+from .trace import TraceBus, TraceRecord, TraceRecorder
+from . import units
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "SchedulerError",
+    "PeriodicTimer",
+    "RngRegistry",
+    "Simulator",
+    "Timer",
+    "TraceBus",
+    "TraceRecord",
+    "TraceRecorder",
+    "derive_seed",
+    "units",
+]

@@ -1,0 +1,59 @@
+"""Event objects for the discrete-event scheduler.
+
+An :class:`Event` is a scheduled callback.  Handles support O(1) cancellation
+(the scheduler lazily discards cancelled entries when they surface at the top
+of the heap), which the MAC layer relies on heavily to pause backoff timers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``.  ``seq`` is a strictly
+    increasing insertion counter that makes ordering deterministic for
+    simultaneous events and keeps heap comparisons away from the (unorderable)
+    callback objects.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "name")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when it is popped."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not cancelled)."""
+        return not self.cancelled
+
+    def _sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or getattr(self.callback, "__name__", "callback")
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} {label} ({state})>"

@@ -1,0 +1,155 @@
+"""The discrete-event scheduler at the heart of the simulator.
+
+The design mirrors classic network simulators (NS2's ``Scheduler``): a binary
+heap of pending events, a monotonically advancing clock, and lazy deletion of
+cancelled events.  Determinism guarantees:
+
+* events at equal timestamps run in (priority, insertion) order;
+* the clock never moves backwards — scheduling into the past raises.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .event import Event
+
+
+class SchedulerError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling into the past)."""
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler.
+
+    Usage::
+
+        sched = EventScheduler()
+        sched.schedule(1.5, callback, arg1, arg2)
+        sched.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._now = 0.0
+        self._seq = 0
+        self._pending = 0
+        self._processed = 0
+        self._running = False
+        self._stopped = False
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return self._pending
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``.
+
+        Returns the :class:`Event`, whose ``cancel()`` removes it (lazily).
+        """
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule event at {time:.9f}, now is {self._now:.9f}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, callback, args, priority=priority, name=name)
+        heapq.heappush(self._heap, event)
+        self._pending += 1
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay {delay}")
+        return self.schedule(
+            self._now + delay, callback, *args, priority=priority, name=name
+        )
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel ``event`` if it is still pending.  ``None`` is a no-op."""
+        if event is not None and not event.cancelled:
+            event.cancel()
+            self._pending -= 1
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next live event.  Returns False if queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._pending -= 1
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        ``until`` is inclusive of events scheduled exactly at that time; on
+        return the clock is advanced to ``until`` if it was supplied.
+        """
+        if self._running:
+            raise SchedulerError("scheduler is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            executed = 0
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop a running :meth:`run` loop after the current event."""
+        self._stopped = True

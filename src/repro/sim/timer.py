@@ -1,0 +1,126 @@
+"""Restartable one-shot and periodic timers built on the scheduler.
+
+These wrap the raw event API with the idioms protocol code needs:
+``restart()`` (cancel + reschedule), ``pause()``/``resume()`` with remaining
+time preserved (used by 802.11 backoff), and periodic ticks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .event import Event
+from .scheduler import EventScheduler
+
+
+class Timer:
+    """A one-shot timer that can be (re)started, stopped, paused and resumed."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        callback: Callable[[], Any],
+        name: Optional[str] = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._callback = callback
+        self._name = name
+        self._event: Optional[Event] = None
+        self._remaining: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed (and not paused)."""
+        return self._event is not None and self._event.active
+
+    @property
+    def paused(self) -> bool:
+        """True if the timer was paused with time remaining."""
+        return self._remaining is not None
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute expiry time if running, else None."""
+        if self.running:
+            return self._event.time  # type: ignore[union-attr]
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now (restarting if armed)."""
+        self.stop()
+        self._event = self._scheduler.schedule_after(
+            delay, self._fire, name=self._name
+        )
+
+    def restart(self, delay: float) -> None:
+        """Alias of :meth:`start`, for readability at call sites."""
+        self.start(delay)
+
+    def stop(self) -> None:
+        """Disarm the timer, discarding any paused remainder."""
+        if self._event is not None:
+            self._scheduler.cancel(self._event)
+            self._event = None
+        self._remaining = None
+
+    def pause(self) -> None:
+        """Freeze the timer, remembering how much time was left."""
+        if not self.running:
+            return
+        self._remaining = max(0.0, self._event.time - self._scheduler.now)  # type: ignore[union-attr]
+        self._scheduler.cancel(self._event)
+        self._event = None
+
+    def resume(self) -> None:
+        """Re-arm a paused timer with its remaining time."""
+        if self._remaining is None:
+            return
+        remaining = self._remaining
+        self._remaining = None
+        self._event = self._scheduler.schedule_after(
+            remaining, self._fire, name=self._name
+        )
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """Fires ``callback`` every ``interval`` seconds until stopped."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        interval: float,
+        callback: Callable[[], Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._scheduler = scheduler
+        self.interval = interval
+        self._callback = callback
+        self._name = name
+        self._event: Optional[Event] = None
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None and self._event.active
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Start ticking; first tick after ``first_delay`` (default interval)."""
+        self.stop()
+        delay = self.interval if first_delay is None else first_delay
+        self._event = self._scheduler.schedule_after(delay, self._tick, name=self._name)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._scheduler.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        self._event = self._scheduler.schedule_after(
+            self.interval, self._tick, name=self._name
+        )
+        self._callback()

@@ -1,0 +1,64 @@
+"""Lightweight trace/instrumentation bus.
+
+Layers publish structured trace records (``(time, source, event, fields)``)
+to a :class:`TraceBus`; collectors subscribe by event name.  Tracing is
+opt-in per event name so the hot path pays one dict lookup when nothing is
+subscribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace record emitted by a simulation component."""
+
+    time: float
+    source: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+TraceCallback = Callable[[TraceRecord], None]
+
+
+class TraceBus:
+    """Publish/subscribe hub for trace records."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[TraceCallback]] = {}
+
+    def subscribe(self, event: str, callback: TraceCallback) -> None:
+        """Invoke ``callback`` for every record whose event name matches.
+
+        Subscribe to ``"*"`` to receive everything.
+        """
+        self._subscribers.setdefault(event, []).append(callback)
+
+    def wants(self, event: str) -> bool:
+        """True if anything is subscribed to ``event`` (or to everything)."""
+        return event in self._subscribers or "*" in self._subscribers
+
+    def emit(self, record: TraceRecord) -> None:
+        """Deliver ``record`` to all matching subscribers."""
+        for callback in self._subscribers.get(record.event, ()):
+            callback(record)
+        for callback in self._subscribers.get("*", ()):
+            callback(record)
+
+
+class TraceRecorder:
+    """Convenience collector that appends matching records to a list."""
+
+    def __init__(self, bus: TraceBus, event: str) -> None:
+        self.records: List[TraceRecord] = []
+        bus.subscribe(event, self.records.append)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

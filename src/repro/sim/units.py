@@ -1,0 +1,59 @@
+"""Unit helpers and physical constants used throughout the simulator.
+
+All simulation time is expressed in seconds as a ``float``.  All data sizes
+are expressed in bytes as an ``int`` unless a name explicitly says ``bits``.
+These helpers exist so scenario code reads like the paper ("2 Mbps link",
+"20 us slot") instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+#: Speed of light in m/s, used for propagation delay over the air.
+SPEED_OF_LIGHT = 3.0e8
+
+# -- time ------------------------------------------------------------------
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def seconds(value: float) -> float:
+    """Identity helper, for symmetry in scenario definitions."""
+    return float(value)
+
+
+# -- data rate / size ------------------------------------------------------
+
+
+def mbps(value: float) -> float:
+    """Convert megabits-per-second to bits-per-second."""
+    return value * 1e6
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits-per-second to bits-per-second."""
+    return value * 1e3
+
+
+def bits(nbytes: int) -> int:
+    """Number of bits in ``nbytes`` bytes."""
+    return nbytes * 8
+
+
+def tx_duration(nbytes: int, rate_bps: float) -> float:
+    """Time to serialise ``nbytes`` bytes at ``rate_bps`` bits per second."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return bits(nbytes) / rate_bps
+
+
+def propagation_delay(distance_m: float) -> float:
+    """One-way radio propagation delay over ``distance_m`` metres."""
+    return distance_m / SPEED_OF_LIGHT

@@ -1,0 +1,66 @@
+"""Time-series helpers for traces (cwnd curves, throughput dynamics)."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+Sample = Tuple[float, float]
+
+
+def value_at(series: Sequence[Sample], time: float, default: float = 0.0) -> float:
+    """Step-function evaluation: the last sample value at or before ``time``."""
+    times = [t for t, _ in series]
+    idx = bisect_right(times, time) - 1
+    if idx < 0:
+        return default
+    return series[idx][1]
+
+
+def resample(
+    series: Sequence[Sample],
+    start: float,
+    stop: float,
+    step: float,
+    default: float = 0.0,
+) -> List[Sample]:
+    """Evaluate a step-function series on a regular grid (for plotting)."""
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    grid: List[Sample] = []
+    t = start
+    while t <= stop + 1e-12:
+        grid.append((t, value_at(series, t, default)))
+        t += step
+    return grid
+
+
+def differentiate(series: Sequence[Sample]) -> List[Sample]:
+    """Per-interval rate of change of a cumulative series.
+
+    Sample ``i`` of the result is (t_i, (v_i - v_{i-1}) / (t_i - t_{i-1})).
+    """
+    rates: List[Sample] = []
+    for (t0, v0), (t1, v1) in zip(series, series[1:]):
+        dt = t1 - t0
+        rates.append((t1, (v1 - v0) / dt if dt > 0 else 0.0))
+    return rates
+
+
+def time_average(series: Sequence[Sample], start: float, stop: float) -> float:
+    """Time-weighted mean of a step-function series over [start, stop]."""
+    if stop <= start:
+        raise ValueError("need stop > start")
+    total = 0.0
+    current = value_at(series, start)
+    cursor = start
+    for t, v in series:
+        if t <= start:
+            continue
+        if t >= stop:
+            break
+        total += current * (t - cursor)
+        current = v
+        cursor = t
+    total += current * (stop - cursor)
+    return total / (stop - start)

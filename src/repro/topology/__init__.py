@@ -1,0 +1,22 @@
+"""Topology builders (substrate S8): chain, cross and grid networks."""
+
+from .builder import Network, make_network, place_nodes
+from .chain import DEFAULT_SPACING, build_chain, chain_endpoints, chain_positions
+from .cross import CrossNetwork, build_cross, cross_positions
+from .grid import build_grid, grid_node, grid_positions
+
+__all__ = [
+    "CrossNetwork",
+    "DEFAULT_SPACING",
+    "Network",
+    "build_chain",
+    "build_cross",
+    "build_grid",
+    "chain_endpoints",
+    "chain_positions",
+    "cross_positions",
+    "grid_node",
+    "grid_positions",
+    "make_network",
+    "place_nodes",
+]

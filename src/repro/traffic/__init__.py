@@ -1,0 +1,6 @@
+"""Traffic generators (substrate S9): FTP-over-TCP flows and CBR sources."""
+
+from .cbr import CbrSink, CbrSource
+from .ftp import FtpFlow, start_ftp
+
+__all__ = ["CbrSink", "CbrSource", "FtpFlow", "start_ftp"]

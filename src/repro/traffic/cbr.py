@@ -1,0 +1,82 @@
+"""Constant-bit-rate (UDP-like) traffic source, for background load.
+
+The paper's runs have no background traffic, but the extension benches use
+CBR cross-traffic to stress the DRAI under non-TCP load (which routers must
+handle without parsing, per the protocol-independence argument of §4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.node import Node
+from ..net.packet import Packet
+from ..sim.simulator import Simulator
+from ..sim.timer import PeriodicTimer
+
+
+class CbrSink:
+    """Counts CBR packets/bytes arriving on a port."""
+
+    def __init__(self, sim: Simulator, node: Node, port: int) -> None:
+        self.sim = sim
+        self.node = node
+        self.port = port
+        self.received_packets = 0
+        self.received_bytes = 0
+        node.bind_port(port, self)
+
+    def receive_packet(self, packet: Packet) -> None:
+        self.received_packets += 1
+        self.received_bytes += packet.size_bytes
+
+
+class _CbrDatagram:
+    """Payload marker so the port demux can route CBR packets."""
+
+    __slots__ = ("dport",)
+
+    def __init__(self, dport: int) -> None:
+        self.dport = dport
+
+
+class CbrSource:
+    """Sends fixed-size datagrams at a constant rate from start to stop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Node,
+        dst: Node,
+        port: int,
+        rate_bps: float,
+        packet_bytes: int = 512,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.packet_bytes = packet_bytes
+        self.interval = packet_bytes * 8.0 / rate_bps
+        self.stop_time = stop_time
+        self.sent_packets = 0
+        self._timer = PeriodicTimer(sim, self.interval, self._emit, name="cbr.tick")
+        sim.at(start_time, self._timer.start, 0.0)
+        if stop_time is not None:
+            sim.at(stop_time, self._timer.stop)
+
+    def _emit(self) -> None:
+        self.sent_packets += 1
+        self.src.send(
+            Packet(
+                src=self.src.node_id,
+                dst=self.dst.node_id,
+                protocol="cbr",
+                size_bytes=self.packet_bytes,
+                payload=_CbrDatagram(self.port),
+            )
+        )

@@ -1,0 +1,68 @@
+"""FTP traffic: a bulk transfer riding a TCP sender.
+
+The paper's flows are FTP sessions — effectively unlimited backlogs.  This
+wrapper pairs a sender with its sink, starts it at the scheduled time, and
+exposes flow-level results (goodput, retransmissions, cwnd trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.node import Node
+from ..sim.simulator import Simulator
+from ..transport.base import TcpSenderBase
+from ..transport.receiver import TcpSink
+from ..transport.registry import sender_class
+
+
+@dataclass
+class FtpFlow:
+    """A unidirectional FTP transfer between two nodes."""
+
+    sender: TcpSenderBase
+    sink: TcpSink
+    start_time: float
+
+    @property
+    def variant(self) -> str:
+        return self.sender.variant
+
+    def goodput_kbps(self, duration: float) -> float:
+        """Average goodput over ``duration`` seconds of active time."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return self.sink.delivered_bytes * 8.0 / duration / 1000.0
+
+
+def start_ftp(
+    sim: Simulator,
+    src: Node,
+    dst: Node,
+    variant: str = "newreno",
+    window: int = 32,
+    sport: int = 1000,
+    dport: int = 2000,
+    start_time: float = 0.0,
+    max_packets: Optional[int] = None,
+    **sender_kwargs,
+) -> FtpFlow:
+    """Create sender + sink for an FTP flow and schedule its start.
+
+    SACK-capable variants automatically get a SACK-enabled sink.
+    """
+    cls = sender_class(variant)
+    sender = cls(
+        sim,
+        src,
+        dst=dst.node_id,
+        sport=sport,
+        dport=dport,
+        window=window,
+        max_packets=max_packets,
+        **sender_kwargs,
+    )
+    sink = TcpSink(sim, dst, port=dport, sack=getattr(cls, "needs_sack_sink", False))
+    sender.start(at=start_time)
+    return FtpFlow(sender=sender, sink=sink, start_time=start_time)

@@ -1,0 +1,46 @@
+"""TCP Reno: Tahoe + fast recovery.
+
+After a fast retransmit, Reno halves the window and stays in congestion
+avoidance (fast recovery) instead of slow-starting, inflating the window by
+one for each further duplicate ACK.  A single new ACK — even a partial one —
+terminates recovery, which is exactly Reno's weakness against the multiple
+losses per window that wireless links produce (paper §2.1.1/§2.1.2).
+"""
+
+from __future__ import annotations
+
+from .base import TcpSenderBase
+from .segments import TcpSegment
+
+
+class TcpReno(TcpSenderBase):
+    """Classic Reno fast retransmit / fast recovery."""
+
+    variant = "reno"
+
+    def _on_triple_dupack(self, seg: TcpSegment) -> None:
+        if self.in_recovery:
+            return
+        self.stats.fast_retransmits += 1
+        self.ssthresh = self._flight_half()
+        self.in_recovery = True
+        self.recover = self.snd_nxt
+        self._transmit(self.snd_una, is_retransmit=True)
+        # Window = ssthresh plus the three segments known to have left.
+        self._set_cwnd(self.ssthresh + 3.0)
+
+    def _on_extra_dupack(self, seg: TcpSegment) -> None:
+        if self.in_recovery:
+            self._set_cwnd(self.cwnd + 1.0)  # window inflation
+
+    def _on_new_ack(self, acked: int, seg: TcpSegment) -> None:
+        if self.in_recovery:
+            # Any new ACK ends Reno recovery (no partial-ACK handling).
+            self.in_recovery = False
+            self._set_cwnd(self.ssthresh)
+            return
+        self._grow_window()
+
+    def _on_timeout(self) -> None:
+        super()._on_timeout()
+        self.in_recovery = False

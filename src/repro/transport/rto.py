@@ -1,0 +1,68 @@
+"""Round-trip-time estimation and retransmission timeout (RTO).
+
+Implements the Jacobson/Karels estimator with Karn's rule (no samples from
+retransmitted segments — the caller enforces it by only timing one fresh
+segment per window) and exponential timer backoff on consecutive timeouts.
+"""
+
+from __future__ import annotations
+
+
+class RttEstimator:
+    """Smoothed RTT and RTO per Jacobson 1988 (RFC 6298 coefficients)."""
+
+    ALPHA = 0.125  # gain on srtt
+    BETA = 0.25  # gain on rttvar
+
+    def __init__(
+        self,
+        min_rto: float = 0.2,
+        max_rto: float = 8.0,
+        initial_rto: float = 3.0,
+    ) -> None:
+        # max_rto caps Karn backoff at 8 s rather than RFC 6298's 60+:
+        # over a lossy multihop path, an unbounded backoff turns a burst of
+        # retransmission losses into a silence longer than the paper's whole
+        # simulation, so a capped timer (as many embedded stacks configure)
+        # keeps the connection probing at a bounded rate.
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError("need 0 < min_rto <= max_rto")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.initial_rto = initial_rto
+        self.srtt: float = 0.0
+        self.rttvar: float = 0.0
+        self.samples = 0
+        self._backoff = 1
+
+    def sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (seconds) into the estimator."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample {rtt}")
+        if self.samples == 0:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(err)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.samples += 1
+        self._backoff = 1  # a valid sample ends any timeout backoff
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, including backoff."""
+        if self.samples == 0:
+            base = self.initial_rto
+        else:
+            base = self.srtt + 4.0 * self.rttvar
+        base = min(max(base, self.min_rto), self.max_rto)
+        return min(base * self._backoff, self.max_rto)
+
+    def backoff(self) -> None:
+        """Double the timeout after a retransmission timer expiry (Karn)."""
+        self._backoff = min(self._backoff * 2, 64)
+
+    @property
+    def backoff_factor(self) -> int:
+        return self._backoff

@@ -1,0 +1,57 @@
+"""SACK scoreboard: which segments above ``snd_una`` the receiver holds.
+
+Packet-granularity version of the RFC 2018/6675 scoreboard.  The sender
+feeds it the SACK blocks from incoming ACKs; it answers "what is the next
+hole to retransmit?" and "how many outstanding segments are SACKed?".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+
+class SackScoreboard:
+    """Tracks selectively-acknowledged segment numbers."""
+
+    def __init__(self) -> None:
+        self._sacked: Set[int] = set()
+        #: Segments retransmitted during the current recovery episode.
+        self._retransmitted: Set[int] = set()
+
+    def update(self, blocks: Iterable[Tuple[int, int]], snd_una: int) -> None:
+        """Merge SACK ``blocks`` (half-open ranges) and drop acked entries."""
+        for start, end in blocks:
+            self._sacked.update(range(start, end))
+        self._sacked = {seq for seq in self._sacked if seq >= snd_una}
+        self._retransmitted = {s for s in self._retransmitted if s >= snd_una}
+
+    def is_sacked(self, seq: int) -> bool:
+        return seq in self._sacked
+
+    def sacked_count(self) -> int:
+        return len(self._sacked)
+
+    def highest_sacked(self) -> Optional[int]:
+        return max(self._sacked) if self._sacked else None
+
+    def mark_retransmitted(self, seq: int) -> None:
+        self._retransmitted.add(seq)
+
+    def next_hole(self, snd_una: int) -> Optional[int]:
+        """Smallest unSACKed, not-yet-retransmitted segment below the
+        highest SACKed one (i.e. a segment the evidence says is lost)."""
+        top = self.highest_sacked()
+        if top is None:
+            return None
+        for seq in range(snd_una, top):
+            if seq not in self._sacked and seq not in self._retransmitted:
+                return seq
+        return None
+
+    def reset_episode(self) -> None:
+        """Forget per-recovery retransmission marks (on recovery exit)."""
+        self._retransmitted.clear()
+
+    def clear(self) -> None:
+        self._sacked.clear()
+        self._retransmitted.clear()

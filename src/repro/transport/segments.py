@@ -1,0 +1,49 @@
+"""TCP segments (packet-granularity, NS2 style).
+
+Sequence numbers count *segments*, not bytes, exactly like NS2's
+``Agent/TCP``: segment ``k`` carries bytes ``[k*MSS, (k+1)*MSS)``.  ACKs are
+cumulative: ``ack = n`` acknowledges every segment below ``n`` (i.e. ``n`` is
+the next expected segment).
+
+``echo_mrai`` is TCP Muzha's feedback channel: the sink copies the AVBW-S
+value (path-minimum DRAI) of the data packet that triggered the ACK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: TCP + IP header bytes added to every segment.
+TCP_IP_HEADER_BYTES = 40
+
+#: Default maximum segment size (payload bytes), as in the paper.
+DEFAULT_MSS = 1460
+
+
+@dataclass
+class TcpSegment:
+    """One TCP segment (data or pure ACK)."""
+
+    kind: str  # "data" | "ack"
+    sport: int
+    dport: int
+    seq: int = 0
+    ack: int = 0
+    payload_bytes: int = 0
+    #: Up to three SACK blocks, each a half-open segment range [start, end).
+    sack_blocks: Tuple[Tuple[int, int], ...] = ()
+    #: Path-minimum DRAI echoed by the receiver (TCP Muzha only).
+    echo_mrai: Optional[int] = None
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == "data"
+
+    @property
+    def is_ack(self) -> bool:
+        return self.kind == "ack"
+
+    def wire_bytes(self) -> int:
+        """Total packet size on the wire including TCP/IP headers."""
+        return self.payload_bytes + TCP_IP_HEADER_BYTES

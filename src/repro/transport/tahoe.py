@@ -1,0 +1,16 @@
+"""TCP Tahoe: slow start + congestion avoidance + fast retransmit.
+
+On any loss indication (triple duplicate ACK or timeout) Tahoe collapses the
+congestion window to one segment and re-enters slow start — the behaviour
+the base class already provides, making Tahoe the thinnest variant.
+"""
+
+from __future__ import annotations
+
+from .base import TcpSenderBase
+
+
+class TcpTahoe(TcpSenderBase):
+    """Classic Tahoe (Jacobson 1988)."""
+
+    variant = "tahoe"

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy import Position, WirelessChannel
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=12345)
+
+
+@pytest.fixture
+def channel(sim: Simulator) -> WirelessChannel:
+    """An empty wireless channel on the fixture simulator."""
+    return WirelessChannel(sim)
+
+
+def chain_points(n: int, spacing: float = 250.0):
+    """n positions spaced ``spacing`` metres apart on the x axis."""
+    return [Position(spacing * i, 0.0) for i in range(n)]

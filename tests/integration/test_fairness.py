@@ -1,0 +1,51 @@
+"""Integration tests for the fairness scenarios (Simulations 3A/3B)."""
+
+import pytest
+
+from repro.experiments import ScenarioConfig, fig_dynamics, run_cross
+from repro.stats import jain_index
+
+
+def test_cross_two_muzha_flows_share_fairly():
+    fairness = []
+    for seed in (1, 2, 3):
+        result = run_cross(
+            4, "muzha", "muzha", config=ScenarioConfig(sim_time=20.0, seed=seed, window=4)
+        )
+        fairness.append(result.fairness)
+        for flow in result.flows:
+            assert flow.goodput_kbps > 20.0, "no Muzha flow may starve"
+    assert sum(fairness) / len(fairness) > 0.85
+
+
+def test_cross_muzha_survives_against_newreno():
+    for seed in (1, 2):
+        result = run_cross(
+            4, "newreno", "muzha", config=ScenarioConfig(sim_time=20.0, seed=seed, window=4)
+        )
+        newreno, muzha = result.flows
+        assert muzha.goodput_kbps > 20.0, "Muzha starved by NewReno"
+        assert newreno.goodput_kbps > 10.0
+
+
+def test_staggered_flows_all_get_share():
+    result = fig_dynamics(
+        "muzha", hops=4, starts=(0.0, 5.0, 10.0), sim_time=25.0, seed=1, window=4
+    )
+    tails = [
+        [r for t, r in flow.rate_series_kbps if t >= 18.0] for flow in result.flows
+    ]
+    shares = [sum(r) / len(r) for r in tails]
+    assert all(s > 5.0 for s in shares), shares
+    assert jain_index(shares) > 0.6
+
+
+def test_late_flow_takes_bandwidth_from_early_flow():
+    """When flow 2 enters, flow 1's rate must drop (they share the chain)."""
+    result = fig_dynamics(
+        "muzha", hops=4, starts=(0.0, 10.0), sim_time=20.0, seed=1, window=4
+    )
+    flow0 = result.flows[0].rate_series_kbps
+    before = [r for t, r in flow0 if 5.0 <= t < 10.0]
+    after = [r for t, r in flow0 if 14.0 <= t <= 20.0]
+    assert sum(before) / len(before) > sum(after) / len(after)

@@ -1,0 +1,77 @@
+"""Integration: TCP over a *mobile* ad hoc network (the §6 extension).
+
+A dense-enough random network with random-waypoint movement: routes break
+and reform as nodes drift, AODV repairs them, and the transport layer keeps
+delivering.  These tests assert survival and repair, not throughput.
+"""
+
+import pytest
+
+from repro.phy import Area, Position, RandomWaypointMobility
+from repro.routing import install_aodv_routing
+from repro.topology import make_network
+from repro.traffic import start_ftp
+
+
+def build_mobile_network(n_nodes=12, seed=1, side=700.0):
+    """n nodes scattered over a side x side field (dense at 250 m range)."""
+    net = make_network(seed=seed)
+    rng = net.sim.stream("placement")
+    for _ in range(n_nodes):
+        net.add_node(Position(rng.uniform(0, side), rng.uniform(0, side)))
+    return net
+
+
+def test_flow_survives_random_waypoint_motion():
+    net = build_mobile_network(seed=2)
+    install_aodv_routing(net.nodes, net.sim)
+    mobility = RandomWaypointMobility(
+        net.sim,
+        net.channel,
+        [n.radio for n in net.nodes],
+        Area(0.0, 0.0, 700.0, 700.0),
+        speed_range=(2.0, 10.0),
+        pause_time=1.0,
+        tick_interval=0.5,
+    ).start()
+    flow = start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="newreno", window=4)
+    net.sim.run(until=30.0)
+    assert mobility.ticks >= 59
+    assert flow.sink.delivered_packets > 50, "flow died under mild mobility"
+
+
+def test_mobility_causes_route_maintenance():
+    net = build_mobile_network(seed=3)
+    protocols = install_aodv_routing(net.nodes, net.sim)
+    RandomWaypointMobility(
+        net.sim,
+        net.channel,
+        [n.radio for n in net.nodes],
+        Area(0.0, 0.0, 700.0, 700.0),
+        speed_range=(10.0, 25.0),  # fast: links definitely break
+        pause_time=0.0,
+        tick_interval=0.25,
+    ).start()
+    start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="newreno", window=4)
+    net.sim.run(until=30.0)
+    discoveries = sum(p.aodv.discoveries for p in protocols.values())
+    assert discoveries >= 2, "fast motion should force rediscoveries"
+
+
+def test_muzha_runs_under_mobility():
+    from repro.core import install_drai
+
+    net = build_mobile_network(seed=4)
+    install_aodv_routing(net.nodes, net.sim)
+    install_drai(net.nodes, net.sim)
+    RandomWaypointMobility(
+        net.sim,
+        net.channel,
+        [n.radio for n in net.nodes],
+        Area(0.0, 0.0, 700.0, 700.0),
+        speed_range=(2.0, 8.0),
+        pause_time=2.0,
+    ).start()
+    flow = start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="muzha", window=4)
+    net.sim.run(until=30.0)
+    assert flow.sink.delivered_packets > 30

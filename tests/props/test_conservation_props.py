@@ -1,0 +1,63 @@
+"""Property-based conservation tests over the full stack.
+
+Whatever random small scenario we build, the bookkeeping must balance:
+packets delivered in order at the sink never exceed distinct packets sent,
+counters never go negative, and a sink's cumulative point never exceeds the
+sender's highest sequence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import ScenarioConfig, run_chain
+
+scenarios = st.fixed_dictionaries(
+    {
+        "hops": st.integers(min_value=1, max_value=4),
+        "seed": st.integers(min_value=1, max_value=50),
+        "window": st.sampled_from([1, 2, 4, 8]),
+        "variant": st.sampled_from(["newreno", "muzha", "vegas", "sack"]),
+        "loss": st.sampled_from([0.0, 0.05, 0.15]),
+    }
+)
+
+
+@given(scenarios)
+@settings(max_examples=15, deadline=None)
+def test_full_stack_accounting_balances(params):
+    config = ScenarioConfig(
+        sim_time=4.0,
+        seed=params["seed"],
+        window=params["window"],
+        packet_error_rate=params["loss"],
+    )
+    result = run_chain(params["hops"], [params["variant"]], config=config)
+    flow = result.flows[0]
+    # conservation: in-order deliveries never exceed distinct packets sent
+    assert flow.delivered_packets <= flow.data_sent
+    # counters are sane
+    assert flow.retransmits >= 0
+    assert flow.timeouts >= 0
+    assert flow.goodput_kbps >= 0.0
+    # cwnd trace stays within [1, window]
+    for _, cwnd in flow.cwnd_trace:
+        assert 1.0 <= cwnd <= params["window"] + 1e-9
+
+
+@given(scenarios)
+@settings(max_examples=10, deadline=None)
+def test_sink_never_ahead_of_sender(params):
+    from repro.routing import install_static_routing
+    from repro.topology import build_chain
+    from repro.traffic import start_ftp
+
+    net = build_chain(params["hops"], seed=params["seed"])
+    install_static_routing(net.nodes, net.channel)
+    flow = start_ftp(
+        net.sim, net.nodes[0], net.nodes[-1],
+        variant=params["variant"], window=params["window"],
+    )
+    net.sim.run(until=3.0)
+    assert flow.sink.rcv_nxt <= flow.sender.snd_nxt
+    assert flow.sender.snd_una <= flow.sender.snd_nxt
+    assert flow.sink.delivered_packets == flow.sink.rcv_nxt

@@ -1,0 +1,74 @@
+"""Property-based tests for DRAI computation and Table 5.2 semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DRAI_TABLE,
+    MAX_DRAI,
+    MIN_DRAI,
+    DraiParams,
+    apply_drai,
+    compute_drai,
+    is_marked,
+)
+
+P = DraiParams()
+
+queue_lens = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+levels = st.sampled_from(sorted(DRAI_TABLE))
+cwnds = st.floats(min_value=1.0, max_value=1000.0, allow_nan=False)
+
+
+@given(queue_lens, fractions, fractions)
+def test_drai_always_a_valid_level(q, u, o):
+    level = compute_drai(q, u, o, P)
+    assert MIN_DRAI <= level <= MAX_DRAI
+
+
+@given(fractions, fractions, queue_lens, queue_lens)
+def test_drai_monotone_nonincreasing_in_queue(u, o, q1, q2):
+    lo, hi = sorted((q1, q2))
+    assert compute_drai(lo, u, o, P) >= compute_drai(hi, u, o, P)
+
+
+# The occupancy/utilization signals only steer the recommendation while no
+# queue has formed (once a backlog exists, the queue rules own the answer),
+# so their monotonicity is asserted at queue == 0.
+
+
+@given(fractions, fractions, fractions)
+def test_drai_monotone_nonincreasing_in_occupancy(u, o1, o2):
+    lo, hi = sorted((o1, o2))
+    assert compute_drai(0.0, u, lo, P) >= compute_drai(0.0, u, hi, P)
+
+
+@given(fractions, fractions, fractions)
+def test_drai_monotone_nonincreasing_in_utilization(o, u1, u2):
+    lo, hi = sorted((u1, u2))
+    assert compute_drai(0.0, lo, o, P) >= compute_drai(0.0, hi, o, P)
+
+
+@given(cwnds, levels)
+def test_apply_drai_direction_matches_level(cwnd, level):
+    adjusted = apply_drai(cwnd, level)
+    if level > 3:
+        assert adjusted > cwnd
+    elif level == 3:
+        assert adjusted == cwnd
+    else:
+        assert adjusted < cwnd
+
+
+@given(cwnds)
+def test_accelerations_and_decelerations_are_inverses(cwnd):
+    import pytest
+
+    assert apply_drai(apply_drai(cwnd, 5), 1) == pytest.approx(cwnd)
+    assert apply_drai(apply_drai(cwnd, 4), 2) == pytest.approx(cwnd)
+
+
+@given(levels)
+def test_marking_is_exactly_the_deceleration_band(level):
+    assert is_marked(level) == (apply_drai(10.0, level) < 10.0)

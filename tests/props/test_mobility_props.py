@@ -1,0 +1,62 @@
+"""Property-based tests for the random-waypoint mobility model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import Area, Position, Radio, RandomWaypointMobility, WirelessChannel
+from repro.sim import Simulator
+
+areas = st.tuples(
+    st.floats(min_value=-1000, max_value=0),
+    st.floats(min_value=-1000, max_value=0),
+    st.floats(min_value=100, max_value=2000),
+    st.floats(min_value=100, max_value=2000),
+).map(lambda t: Area(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+speeds = st.tuples(
+    st.floats(min_value=0.5, max_value=10.0),
+    st.floats(min_value=0.0, max_value=20.0),
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+@given(areas, speeds, st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_positions_always_inside_area(area, speed_range, n, seed):
+    sim = Simulator(seed=seed)
+    channel = WirelessChannel(sim)
+    radios = []
+    start = Position(
+        (area.x_min + area.x_max) / 2.0, (area.y_min + area.y_max) / 2.0
+    )
+    for i in range(n):
+        radio = Radio(sim, i)
+        channel.register(radio, start)
+        radios.append(radio)
+    RandomWaypointMobility(
+        sim, channel, radios, area, speed_range=speed_range, pause_time=0.5
+    ).start()
+    for _ in range(20):
+        sim.run(until=sim.now + 0.5)
+        for radio in radios:
+            assert area.contains(channel.position_of(radio))
+
+
+@given(speeds, st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_per_tick_displacement_bounded(speed_range, seed):
+    area = Area(0, 0, 1000, 1000)
+    sim = Simulator(seed=seed)
+    channel = WirelessChannel(sim)
+    radio = Radio(sim, 0)
+    channel.register(radio, Position(500, 500))
+    tick = 0.5
+    RandomWaypointMobility(
+        sim, channel, [radio], area, speed_range=speed_range,
+        pause_time=0.0, tick_interval=tick,
+    ).start()
+    previous = channel.position_of(radio)
+    for _ in range(30):
+        sim.run(until=sim.now + tick)
+        current = channel.position_of(radio)
+        assert previous.distance_to(current) <= speed_range[1] * tick + 1e-6
+        previous = current

@@ -1,0 +1,76 @@
+"""Property-based tests for the TCP sink: arbitrary arrival orders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Node, Packet
+from repro.phy import Position, WirelessChannel
+from repro.sim import Simulator
+from repro.transport import TcpSegment, TcpSink
+
+
+def drive_sink(arrivals, sack=False):
+    sim = Simulator(seed=1)
+    channel = WirelessChannel(sim)
+    node = Node(sim, channel, 1, Position(0))
+    sink = TcpSink(sim, node, port=20, sack=sack)
+    acks = []
+    node.send = lambda packet: acks.append(packet.payload)
+    for seq in arrivals:
+        segment = TcpSegment("data", sport=10, dport=20, seq=seq, payload_bytes=100)
+        sink.receive_packet(
+            Packet(src=0, dst=1, protocol="tcp", size_bytes=140, payload=segment)
+        )
+    return sink, acks
+
+
+# permutations with duplicates of a prefix of sequence numbers
+arrival_lists = st.lists(st.integers(min_value=0, max_value=15), max_size=60)
+
+
+@given(arrival_lists)
+@settings(max_examples=60)
+def test_rcv_nxt_is_first_gap(arrivals):
+    sink, acks = drive_sink(arrivals)
+    seen = set(arrivals)
+    expected = 0
+    while expected in seen:
+        expected += 1
+    assert sink.rcv_nxt == expected
+
+
+@given(arrival_lists)
+@settings(max_examples=60)
+def test_one_ack_per_data_segment(arrivals):
+    sink, acks = drive_sink(arrivals)
+    assert len(acks) == len(arrivals)
+    assert sink.acks_sent == len(arrivals)
+
+
+@given(arrival_lists)
+@settings(max_examples=60)
+def test_ack_numbers_never_decrease(arrivals):
+    _, acks = drive_sink(arrivals)
+    numbers = [a.ack for a in acks]
+    assert numbers == sorted(numbers)
+
+
+@given(arrival_lists)
+@settings(max_examples=60)
+def test_delivered_equals_distinct_in_order_prefix(arrivals):
+    sink, _ = drive_sink(arrivals)
+    assert sink.delivered_packets == sink.rcv_nxt
+
+
+@given(arrival_lists)
+@settings(max_examples=60)
+def test_sack_blocks_are_disjoint_sorted_and_above_rcv_nxt(arrivals):
+    sink, acks = drive_sink(arrivals, sack=True)
+    for ack in acks:
+        blocks = ack.sack_blocks
+        for start, end in blocks:
+            assert start < end
+        for (s1, e1), (s2, e2) in zip(blocks, blocks[1:]):
+            assert e1 < s2  # disjoint and ascending
+        if blocks:
+            assert blocks[0][0] > ack.ack - 1

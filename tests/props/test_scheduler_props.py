@@ -1,0 +1,81 @@
+"""Property-based tests for the event scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import EventScheduler
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=200,
+)
+
+
+@given(delays)
+def test_events_execute_in_nondecreasing_time_order(times):
+    sched = EventScheduler()
+    executed = []
+    for t in times:
+        sched.schedule(t, lambda t=t: executed.append(sched.now))
+    sched.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(times)
+
+
+@given(delays)
+def test_equal_times_preserve_insertion_order(times):
+    sched = EventScheduler()
+    executed = []
+    for i, t in enumerate(times):
+        sched.schedule(t, lambda i=i: executed.append(i))
+    sched.run()
+    # stable sort of indices by their times
+    expected = [i for _, i in sorted((t, i) for i, t in enumerate(times))]
+    assert executed == expected
+
+
+@given(delays, st.sets(st.integers(min_value=0, max_value=199)))
+def test_cancellation_removes_exactly_the_cancelled(times, to_cancel):
+    sched = EventScheduler()
+    executed = []
+    events = []
+    for i, t in enumerate(times):
+        events.append(sched.schedule(t, lambda i=i: executed.append(i)))
+    for idx in to_cancel:
+        if idx < len(events):
+            sched.cancel(events[idx])
+    sched.run()
+    surviving = {i for i in range(len(times))} - {
+        i for i in to_cancel if i < len(times)
+    }
+    assert set(executed) == surviving
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_run_until_is_a_clean_partition(times, boundary):
+    sched = EventScheduler()
+    executed = []
+    for t in times:
+        sched.schedule(t, lambda t=t: executed.append(t))
+    sched.run(until=boundary)
+    early = list(executed)
+    assert all(t <= boundary for t in early)
+    sched.run()
+    assert sorted(executed) == sorted(times)
+
+
+@given(st.lists(st.floats(min_value=1e-9, max_value=100.0), min_size=1, max_size=50))
+def test_relative_scheduling_never_goes_backwards(deltas):
+    sched = EventScheduler()
+    observed = []
+
+    def chain(remaining):
+        observed.append(sched.now)
+        if remaining:
+            sched.schedule_after(remaining[0], chain, remaining[1:])
+
+    sched.schedule_after(deltas[0], chain, deltas[1:])
+    sched.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(deltas)

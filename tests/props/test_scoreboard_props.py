@@ -1,0 +1,71 @@
+"""Property-based tests for the SACK scoreboard invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.transport import SackScoreboard
+
+blocks = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=20),
+    ).map(lambda pair: (pair[0], pair[0] + pair[1])),
+    max_size=10,
+)
+unas = st.integers(min_value=0, max_value=120)
+
+
+@given(blocks, unas)
+def test_nothing_below_snd_una_stays_sacked(bs, una):
+    sb = SackScoreboard()
+    sb.update(bs, una)
+    assert all(seq >= una for seq in range(0, una) if sb.is_sacked(seq)) or True
+    for seq in range(0, una):
+        assert not sb.is_sacked(seq)
+
+
+@given(blocks, unas)
+def test_every_block_member_above_una_is_sacked(bs, una):
+    sb = SackScoreboard()
+    sb.update(bs, una)
+    for start, end in bs:
+        for seq in range(start, end):
+            if seq >= una:
+                assert sb.is_sacked(seq)
+
+
+@given(blocks, unas)
+def test_next_hole_is_never_sacked_and_below_highest(bs, una):
+    sb = SackScoreboard()
+    sb.update(bs, una)
+    hole = sb.next_hole(una)
+    top = sb.highest_sacked()
+    if hole is not None:
+        assert not sb.is_sacked(hole)
+        assert top is not None and una <= hole < top
+
+
+@given(blocks, unas)
+def test_marking_holes_terminates(bs, una):
+    """Repeatedly retransmitting the reported hole must drain them all."""
+    sb = SackScoreboard()
+    sb.update(bs, una)
+    seen = set()
+    while True:
+        hole = sb.next_hole(una)
+        if hole is None:
+            break
+        assert hole not in seen  # progress: no hole reported twice
+        seen.add(hole)
+        sb.mark_retransmitted(hole)
+    assert len(seen) <= 121
+
+
+@given(blocks, blocks, unas)
+def test_update_is_cumulative(first, second, una):
+    sb = SackScoreboard()
+    sb.update(first, una)
+    sb.update(second, una)
+    combined = SackScoreboard()
+    combined.update(list(first) + list(second), una)
+    assert sb.sacked_count() == combined.sacked_count()

@@ -1,0 +1,59 @@
+"""Property-based tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import jain_index, time_average, value_at
+
+allocations = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=20
+)
+
+
+@given(allocations)
+def test_jain_index_bounded(xs):
+    j = jain_index(xs)
+    assert 1.0 / len(xs) - 1e-9 <= j <= 1.0 + 1e-9
+
+
+@given(allocations, st.floats(min_value=1e-6, max_value=1e3))
+def test_jain_index_scale_invariant(xs, scale):
+    assert jain_index(xs) == pytest.approx(jain_index([x * scale for x in xs]))
+
+
+@given(allocations)
+def test_jain_index_permutation_invariant(xs):
+    assert jain_index(xs) == pytest.approx(jain_index(list(reversed(xs))))
+
+
+series_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+).map(lambda pts: sorted(pts, key=lambda p: p[0]))
+
+
+@given(series_strategy)
+def test_time_average_within_value_range(series):
+    start = series[0][0]
+    stop = start + 10.0
+    values = [v for _, v in series] + [0.0]  # default before first sample
+    avg = time_average(series, start, stop)
+    assert min(values) - 1e-6 <= avg <= max(values) + 1e-6
+
+
+@given(series_strategy, st.floats(min_value=0.0, max_value=200.0))
+def test_value_at_returns_latest_sample_at_or_before(series, t):
+    v = value_at(series, t, default=-999.0)
+    eligible = [val for ts, val in series if ts <= t]
+    assert v == (eligible[-1] if eligible else -999.0)
+
+
+@given(st.floats(min_value=0.1, max_value=1e3))
+def test_constant_series_average_is_the_constant(c):
+    series = [(0.0, c)]
+    assert time_average(series, 0.0, 5.0) == pytest.approx(c)

@@ -1,0 +1,202 @@
+"""Unit tests for the AODV routing table and protocol mechanics."""
+
+import pytest
+
+from repro.net import Node, Packet
+from repro.phy import Position, WirelessChannel
+from repro.routing.aodv import (
+    AodvRouting,
+    Rerr,
+    Rrep,
+    Rreq,
+    RoutingTable,
+    constants as C,
+    install_aodv_routing,
+)
+from repro.sim import Simulator
+
+
+class TestRoutingTable:
+    def test_install_and_lookup(self):
+        table = RoutingTable()
+        assert table.update(5, next_hop=2, hop_count=3, seq=1, expiry=10.0)
+        entry = table.lookup(5, now=1.0)
+        assert entry.next_hop == 2
+
+    def test_expired_entry_not_usable(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 1, expiry=10.0)
+        assert table.lookup(5, now=10.0) is None
+        assert table.get(5) is not None  # raw entry still exists
+
+    def test_fresher_sequence_replaces(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, seq=1, expiry=10.0)
+        assert table.update(5, 7, 9, seq=2, expiry=10.0)
+        assert table.lookup(5, 0.0).next_hop == 7
+
+    def test_same_seq_shorter_path_replaces(self):
+        table = RoutingTable()
+        table.update(5, 2, hop_count=3, seq=1, expiry=10.0)
+        assert table.update(5, 7, hop_count=2, seq=1, expiry=10.0)
+        assert not table.update(5, 9, hop_count=4, seq=1, expiry=10.0)
+        assert table.lookup(0.0, 0.0) is None
+        assert table.lookup(5, 0.0).next_hop == 7
+
+    def test_stale_sequence_rejected(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, seq=5, expiry=10.0)
+        assert not table.update(5, 7, 1, seq=4, expiry=10.0)
+
+    def test_invalidate_via_bumps_seq_and_lists_routes(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 1, 10.0)
+        table.update(6, 2, 4, 1, 10.0)
+        table.update(7, 3, 1, 1, 10.0)
+        broken = table.invalidate_via(2)
+        assert sorted(e.dst for e in broken) == [5, 6]
+        assert table.lookup(5, 0.0) is None
+        assert table.lookup(7, 0.0) is not None
+        assert table.get(5).seq == 2
+
+    def test_refresh_extends_lifetime(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 1, expiry=10.0)
+        table.refresh(5, expiry=20.0)
+        assert table.lookup(5, 15.0) is not None
+
+    def test_invalid_entry_can_be_reinstalled(self):
+        table = RoutingTable()
+        table.update(5, 2, 3, 1, 10.0)
+        table.invalidate(5)
+        assert table.update(5, 4, 2, 1, 10.0)
+        assert table.lookup(5, 0.0).next_hop == 4
+
+
+class TestMessages:
+    def test_rreq_hopped_increments(self):
+        rreq = Rreq(orig=1, orig_seq=1, rreq_id=1, dst=5, dst_seq=0, unknown_dst_seq=True)
+        assert rreq.hopped().hop_count == 1
+        assert rreq.hop_count == 0
+
+    def test_rrep_hopped_increments(self):
+        rrep = Rrep(orig=1, dst=5, dst_seq=3, lifetime=10.0)
+        assert rrep.hopped().hop_count == 1
+
+
+def build_aodv_chain(n, seed=1):
+    sim = Simulator(seed=seed)
+    channel = WirelessChannel(sim)
+    nodes = [Node(sim, channel, i, Position(250.0 * i)) for i in range(n)]
+    protocols = install_aodv_routing(nodes, sim)
+    return sim, nodes, protocols
+
+
+class PortProbe:
+    def __init__(self):
+        self.packets = []
+
+    def receive_packet(self, packet):
+        self.packets.append(packet)
+
+
+class Probe:
+    def __init__(self, dport):
+        self.dport = dport
+
+
+class TestAodvProtocol:
+    def test_discovery_installs_routes_and_delivers(self):
+        sim, nodes, protocols = build_aodv_chain(4)
+        probe = PortProbe()
+        nodes[3].bind_port(80, probe)
+        nodes[0].send(
+            Packet(src=0, dst=3, protocol="raw", size_bytes=500, payload=Probe(80))
+        )
+        sim.run(until=2.0)
+        assert len(probe.packets) == 1
+        assert protocols[0].next_hop(3) == 1
+        # reverse routes toward the originator exist along the path
+        assert protocols[3].next_hop(0) == 2
+
+    def test_packets_buffered_during_discovery_all_flow(self):
+        sim, nodes, protocols = build_aodv_chain(4)
+        probe = PortProbe()
+        nodes[3].bind_port(80, probe)
+        for _ in range(5):
+            nodes[0].send(
+                Packet(src=0, dst=3, protocol="raw", size_bytes=500, payload=Probe(80))
+            )
+        sim.run(until=2.0)
+        assert len(probe.packets) == 5
+
+    def test_unreachable_destination_fails_after_retries(self):
+        sim, nodes, protocols = build_aodv_chain(2)
+        nodes[0].send(Packet(src=0, dst=77, protocol="raw", size_bytes=100))
+        sim.run(until=30.0)
+        assert protocols[0].aodv.discovery_failures == 1
+        assert protocols[0].counters.no_route_drops >= 1
+
+    def test_rreq_dedup_suppresses_rebroadcast_storm(self):
+        sim, nodes, protocols = build_aodv_chain(4)
+        nodes[0].send(Packet(src=0, dst=3, protocol="raw", size_bytes=100))
+        sim.run(until=2.0)
+        # each intermediate node forwards one copy of the flood
+        assert protocols[1].aodv.rreq_tx <= 2
+        assert protocols[2].aodv.rreq_tx <= 2
+
+    def test_confirmed_link_failure_invalidates_and_rediscovers(self):
+        sim, nodes, protocols = build_aodv_chain(3)
+        # Seed a bogus route at node 0 through a dead next hop 9.
+        protocols[0].table.update(2, next_hop=9, hop_count=1, seq=99, expiry=1e9)
+        probe = PortProbe()
+        nodes[2].bind_port(80, probe)
+        for _ in range(4):
+            nodes[0].send(
+                Packet(src=0, dst=2, protocol="raw", size_bytes=300, payload=Probe(80))
+            )
+        sim.run(until=10.0)
+        # after two MAC failures the route flips to the real path
+        assert protocols[0].next_hop(2) == 1
+        assert len(probe.packets) >= 1
+
+    def test_single_link_failure_is_salvaged_not_invalidated(self):
+        sim, nodes, protocols = build_aodv_chain(2)
+        protocols[0].table.update(1, next_hop=1, hop_count=1, seq=1, expiry=1e9)
+        packet = Packet(src=0, dst=1, protocol="raw", size_bytes=100)
+        protocols[0].on_link_failure(1, packet)
+        # first strike: the route survives
+        assert protocols[0].next_hop(1) == 1
+
+    def test_link_ok_clears_suspicion(self):
+        sim, nodes, protocols = build_aodv_chain(2)
+        protocols[0].table.update(1, next_hop=1, hop_count=1, seq=1, expiry=1e9)
+        packet = Packet(src=0, dst=1, protocol="raw", size_bytes=100)
+        protocols[0].on_link_failure(1, packet)
+        protocols[0].on_link_ok(1)
+        protocols[0].on_link_failure(1, packet)
+        # suspicion was cleared, so this counted as a first strike again
+        assert protocols[0].next_hop(1) == 1
+
+    def test_rerr_invalidates_downstream_routes(self):
+        sim, nodes, protocols = build_aodv_chain(3)
+        protocols[0].table.update(2, next_hop=1, hop_count=2, seq=1, expiry=1e9)
+        rerr = Rerr(unreachable=[(2, 2)])
+        protocols[0]._receive_rerr(rerr, from_addr=1)
+        assert protocols[0].next_hop(2) is None
+
+    def test_rerr_from_other_neighbor_ignored(self):
+        sim, nodes, protocols = build_aodv_chain(3)
+        protocols[0].table.update(2, next_hop=1, hop_count=2, seq=1, expiry=1e9)
+        protocols[0]._receive_rerr(Rerr(unreachable=[(2, 2)]), from_addr=7)
+        assert protocols[0].next_hop(2) == 1
+
+    def test_control_packets_never_salvaged(self):
+        sim, nodes, protocols = build_aodv_chain(2)
+        control = Packet(
+            src=0, dst=-1, protocol=C.AODV_PROTOCOL, size_bytes=44,
+            payload=Rrep(orig=0, dst=1, dst_seq=1, lifetime=10.0),
+        )
+        protocols[0].on_link_failure(1, control)
+        protocols[0].on_link_failure(1, control)
+        assert not protocols[0]._pending  # no bogus discovery started

@@ -1,0 +1,105 @@
+"""Additional AODV edge-case tests (RREP forwarding, buffering limits,
+sequence-number hygiene)."""
+
+import pytest
+
+from repro.net import Node, Packet
+from repro.phy import Position, WirelessChannel
+from repro.routing.aodv import (
+    AodvRouting,
+    Rrep,
+    Rreq,
+    constants as C,
+    install_aodv_routing,
+)
+from repro.sim import Simulator
+
+
+def build(n=3, seed=1, spacing=250.0):
+    sim = Simulator(seed=seed)
+    channel = WirelessChannel(sim)
+    nodes = [Node(sim, channel, i, Position(spacing * i)) for i in range(n)]
+    protocols = install_aodv_routing(nodes, sim)
+    return sim, nodes, protocols
+
+
+def test_buffer_cap_drops_overflow():
+    sim, nodes, protocols = build(2)
+    for i in range(C.MAX_BUFFERED_PER_DST + 10):
+        nodes[0].send(Packet(src=0, dst=99, protocol="raw", size_bytes=100))
+    pending = protocols[0]._pending[99]
+    assert len(pending.buffered) == C.MAX_BUFFERED_PER_DST
+    assert protocols[0].aodv.buffered_drops == 10
+
+
+def test_duplicate_rreq_not_answered_twice():
+    sim, nodes, protocols = build(2)
+    rreq = Rreq(orig=0, orig_seq=1, rreq_id=7, dst=1, dst_seq=0, unknown_dst_seq=True)
+    packet = Packet(src=0, dst=-1, protocol=C.AODV_PROTOCOL, size_bytes=44,
+                    payload=rreq, ttl=30)
+    protocols[1]._receive_rreq(rreq, packet, from_addr=0)
+    first_replies = protocols[1].aodv.rrep_tx
+    protocols[1]._receive_rreq(rreq, packet, from_addr=0)
+    assert protocols[1].aodv.rrep_tx == first_replies == 1
+
+
+def test_destination_bumps_seq_on_reply():
+    sim, nodes, protocols = build(2)
+    before = protocols[1].seq_no
+    rreq = Rreq(orig=0, orig_seq=1, rreq_id=1, dst=1, dst_seq=5, unknown_dst_seq=False)
+    packet = Packet(src=0, dst=-1, protocol=C.AODV_PROTOCOL, size_bytes=44,
+                    payload=rreq, ttl=30)
+    protocols[1]._receive_rreq(rreq, packet, from_addr=0)
+    assert protocols[1].seq_no >= max(before + 1, 5)
+
+
+def test_rrep_without_reverse_route_is_dropped():
+    sim, nodes, protocols = build(3)
+    rrep = Rrep(orig=99, dst=2, dst_seq=3, lifetime=10.0, hop_count=0)
+    protocols[1]._receive_rrep(rrep, from_addr=2)
+    # forward route to the destination is installed ...
+    assert protocols[1].next_hop(2) == 2
+    # ... but with no reverse route to orig 99 nothing is forwarded
+    assert protocols[1].aodv.rrep_tx == 0
+
+
+def test_rreq_ttl_exhaustion_stops_flood():
+    sim, nodes, protocols = build(3)
+    rreq = Rreq(orig=0, orig_seq=1, rreq_id=3, dst=9, dst_seq=0, unknown_dst_seq=True)
+    packet = Packet(src=0, dst=-1, protocol=C.AODV_PROTOCOL, size_bytes=44,
+                    payload=rreq, ttl=1)
+    protocols[1]._receive_rreq(rreq, packet, from_addr=0)
+    assert protocols[1].aodv.rreq_tx == 0  # not rebroadcast
+
+
+def test_route_refresh_on_data_traffic():
+    sim, nodes, protocols = build(3)
+    protocols[1].table.update(0, next_hop=0, hop_count=1, seq=1,
+                              expiry=sim.now + 0.5)
+    packet = Packet(src=0, dst=2, protocol="tcp", size_bytes=100)
+    protocols[1].on_data_packet(packet, from_addr=0)
+    entry = protocols[1].table.get(0)
+    assert entry.expiry >= sim.now + C.ACTIVE_ROUTE_TIMEOUT - 1e-9
+
+
+def test_expired_route_triggers_rediscovery_not_use():
+    sim, nodes, protocols = build(3)
+    protocols[0].table.update(2, next_hop=1, hop_count=2, seq=1, expiry=0.5)
+    sim.after(1.0, lambda: None)
+    sim.run()  # now = 1.0 > expiry
+    assert protocols[0].next_hop(2) is None
+
+
+def test_discovery_timer_backs_off_exponentially():
+    sim, nodes, protocols = build(2)
+    nodes[0].send(Packet(src=0, dst=99, protocol="raw", size_bytes=100))
+    pending = protocols[0]._pending[99]
+    first_expiry = pending.timer.expiry
+    assert first_expiry == pytest.approx(C.PATH_DISCOVERY_TIME, rel=0.01)
+    # run past the first timeout; the retry must wait twice as long
+    sim.run(until=first_expiry + 0.001)
+    pending = protocols[0]._pending[99]
+    assert pending.retries == 1
+    assert pending.timer.expiry - sim.now == pytest.approx(
+        2 * C.PATH_DISCOVERY_TIME, rel=0.05
+    )

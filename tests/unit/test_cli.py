@@ -1,0 +1,59 @@
+"""Unit tests for the repro-muzha CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_builds_and_knows_all_subcommands():
+    parser = build_parser()
+    for command in ("chain", "sweep", "cross", "dynamics", "tables"):
+        args = parser.parse_args([command] if command == "tables" else [command])
+        assert args.command == command
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 5.1" in out and "Table 5.2" in out
+    assert "2Mbps" in out and "AODV" in out
+
+
+def test_chain_command_runs_small_scenario(capsys):
+    assert main(["chain", "--hops", "2", "--time", "3", "--variant", "newreno"]) == 0
+    out = capsys.readouterr().out
+    assert "goodput" in out
+    assert "kbps" in out
+
+
+def test_chain_command_with_trace(capsys):
+    assert main(
+        ["chain", "--hops", "2", "--time", "2", "--variant", "muzha", "--trace"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "cwnd" in out
+
+
+def test_sweep_command(capsys):
+    assert main(
+        ["sweep", "--hops", "2", "--seeds", "1", "--time", "3", "--window", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "goodput" in out and "retransmits" in out
+
+
+def test_cross_command(capsys):
+    assert main(["cross", "--hops", "4", "--seeds", "1", "--time", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Jain index" in out
+
+
+def test_dynamics_command(capsys):
+    assert main(["dynamics", "--hops", "2", "--time", "25", "--variant", "newreno"]) == 0
+    out = capsys.readouterr().out
+    assert "final shares" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

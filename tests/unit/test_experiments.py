@@ -1,0 +1,149 @@
+"""Unit tests for the experiment harness (config, runners, reporting)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_VARIANTS,
+    ScenarioConfig,
+    SweepConfig,
+    Table51Parameters,
+    ascii_series,
+    fig_cwnd_traces,
+    format_coexistence,
+    format_sweep,
+    format_table,
+    run_chain,
+    run_cross,
+)
+from repro.experiments.figures import (
+    CoexistencePoint,
+    SweepPoint,
+    SweepResult,
+)
+
+
+class TestConfig:
+    def test_table_5_1_rows_match_paper(self):
+        rows = dict(Table51Parameters().rows())
+        assert rows["Link Bandwidth"] == "2Mbps"
+        assert rows["Transmission Range"] == "250 m"
+        assert rows["MAC"] == "802.11"
+        assert rows["Routing"] == "AODV"
+        assert rows["Number of Nodes"] == "4~32"
+
+    def test_paper_variants(self):
+        assert PAPER_VARIANTS == ("muzha", "newreno", "sack", "vegas")
+
+    def test_sweep_scales(self):
+        quick = SweepConfig.for_scale(full=False)
+        full = SweepConfig.for_scale(full=True)
+        assert max(full.hops) == 32
+        assert len(full.seeds) >= len(quick.seeds)
+        assert full.sim_time >= quick.sim_time
+
+
+class TestRunners:
+    def test_run_chain_single_flow(self):
+        result = run_chain(
+            2, ["newreno"], config=ScenarioConfig(sim_time=5.0, seed=1)
+        )
+        flow = result.flows[0]
+        assert flow.variant == "newreno"
+        assert flow.goodput_kbps > 0
+        assert flow.cwnd_trace[0][1] == 1.0
+        assert result.fairness == 1.0  # single flow
+
+    def test_run_chain_static_routing(self):
+        result = run_chain(
+            2, ["newreno"], config=ScenarioConfig(sim_time=5.0, routing="static")
+        )
+        assert result.flows[0].goodput_kbps > 0
+
+    def test_run_chain_unknown_routing_rejected(self):
+        with pytest.raises(ValueError):
+            run_chain(2, ["newreno"], config=ScenarioConfig(routing="ospf"))
+
+    def test_run_chain_staggered_flows(self):
+        result = run_chain(
+            2,
+            ["newreno", "newreno"],
+            starts=[0.0, 2.0],
+            config=ScenarioConfig(sim_time=6.0),
+            record_dynamics=True,
+        )
+        assert len(result.flows) == 2
+        assert result.flows[1].start_time == 2.0
+        assert result.flows[0].rate_series_kbps  # dynamics recorded
+
+    def test_run_chain_mismatched_starts_rejected(self):
+        with pytest.raises(ValueError):
+            run_chain(2, ["newreno"], starts=[0.0, 1.0])
+
+    def test_run_cross_two_flows(self):
+        result = run_cross(
+            4, "newreno", "newreno", config=ScenarioConfig(sim_time=5.0)
+        )
+        assert len(result.flows) == 2
+        assert 0.0 < result.fairness <= 1.0
+
+    def test_muzha_flow_gets_drai_installed(self):
+        result = run_chain(2, ["muzha"], config=ScenarioConfig(sim_time=5.0))
+        assert result.flows[0].goodput_kbps > 0
+
+    def test_packet_error_rate_injects_loss(self):
+        clean = run_chain(2, ["newreno"], config=ScenarioConfig(sim_time=8.0))
+        lossy = run_chain(
+            2, ["newreno"], config=ScenarioConfig(sim_time=8.0, packet_error_rate=0.2)
+        )
+        assert lossy.flows[0].goodput_kbps < clean.flows[0].goodput_kbps
+
+    def test_fig_cwnd_traces_covers_variants(self):
+        traces = fig_cwnd_traces(2, variants=("muzha", "newreno"), sim_time=3.0)
+        assert set(traces) == {"muzha", "newreno"}
+        for trace in traces.values():
+            assert trace[0] == (0.0, 1.0)
+
+
+class TestReporting:
+    def make_sweep(self):
+        result = SweepResult(window=8, hops=(4, 8), variants=("muzha", "newreno"))
+        for v in result.variants:
+            for h in result.hops:
+                result.points[(v, h)] = SweepPoint(
+                    goodput_kbps=100.0 + h, goodput_stdev=1.0,
+                    retransmits=float(h), timeouts=0.0, samples=3,
+                )
+        return result
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+
+    def test_format_sweep_goodput_and_retransmits(self):
+        sweep = self.make_sweep()
+        text = format_sweep(sweep, metric="goodput")
+        assert "muzha" in text and "104.0" in text
+        text = format_sweep(sweep, metric="retransmits")
+        assert "8.0" in text
+        with pytest.raises(ValueError):
+            format_sweep(sweep, metric="latency")
+
+    def test_sweep_series_accessors(self):
+        sweep = self.make_sweep()
+        assert sweep.goodput_series("muzha") == [(4, 104.0), (8, 108.0)]
+        assert sweep.retransmit_series("newreno") == [(4, 4.0), (8, 8.0)]
+
+    def test_format_coexistence(self):
+        points = [CoexistencePoint(4, 100.0, 50.0, 0.9)]
+        text = format_coexistence(points, "newreno", "vegas")
+        assert "newreno" in text and "0.900" in text
+
+    def test_ascii_series_renders(self):
+        chart = ascii_series([(0.0, 0.0), (1.0, 5.0), (2.0, 2.0)], label="x")
+        assert "x" in chart
+        assert "*" in chart
+
+    def test_ascii_series_empty(self):
+        assert "(no data)" in ascii_series([], label="y")

@@ -1,0 +1,71 @@
+"""Unit tests for the CSV exporters."""
+
+import csv
+
+from repro.experiments.export import (
+    export_coexistence_csv,
+    export_multi_series_csv,
+    export_series_csv,
+    export_sweep_csv,
+)
+from repro.experiments.figures import CoexistencePoint, SweepPoint, SweepResult
+
+
+def read_rows(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def make_sweep():
+    sweep = SweepResult(window=8, hops=(4, 8), variants=("muzha", "newreno"))
+    for v in sweep.variants:
+        for h in sweep.hops:
+            sweep.points[(v, h)] = SweepPoint(
+                goodput_kbps=100.0 + h, goodput_stdev=2.0,
+                retransmits=float(h), timeouts=1.0, samples=3,
+            )
+    return sweep
+
+
+def test_sweep_csv_schema(tmp_path):
+    path = export_sweep_csv(make_sweep(), tmp_path / "sweep.csv")
+    rows = read_rows(path)
+    assert rows[0] == [
+        "window", "hops", "variant", "goodput_kbps", "goodput_stdev",
+        "retransmits", "timeouts", "samples",
+    ]
+    assert len(rows) == 1 + 4
+    assert rows[1][:3] == ["8", "4", "muzha"]
+    assert float(rows[1][3]) == 104.0
+
+
+def test_series_csv(tmp_path):
+    path = export_series_csv(
+        [(0.0, 1.0), (1.5, 2.5)], tmp_path / "trace.csv", y_label="cwnd"
+    )
+    rows = read_rows(path)
+    assert rows[0] == ["time_s", "cwnd"]
+    assert float(rows[2][1]) == 2.5
+
+
+def test_multi_series_csv(tmp_path):
+    path = export_multi_series_csv(
+        {"a": [(0.0, 1.0)], "b": [(0.0, 2.0), (1.0, 3.0)]},
+        tmp_path / "dyn.csv",
+    )
+    rows = read_rows(path)
+    assert rows[0] == ["series", "time_s", "value"]
+    assert len(rows) == 4
+    assert rows[1][0] == "a"
+
+
+def test_coexistence_csv(tmp_path):
+    points = [CoexistencePoint(4, 120.0, 80.0, 0.96)]
+    path = export_coexistence_csv(points, "newreno", "muzha", tmp_path / "x.csv")
+    rows = read_rows(path)
+    assert rows[1] == ["4", "newreno", "120.000", "muzha", "80.000", "0.9600"]
+
+
+def test_creates_missing_directories(tmp_path):
+    path = export_series_csv([(0.0, 0.0)], tmp_path / "deep" / "dir" / "f.csv")
+    assert path.exists()

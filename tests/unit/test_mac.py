@@ -1,0 +1,252 @@
+"""Unit tests for the 802.11 DCF MAC."""
+
+import pytest
+
+from repro.mac import (
+    BROADCAST,
+    DcfMac,
+    DcfState,
+    FrameKind,
+    MacFrame,
+    MacParams,
+    Nav,
+    QueuedPacket,
+)
+from repro.mac.stats import MediumUtilizationMeter
+from repro.net.queues import DropTailQueue
+from repro.phy import Position, Radio, WirelessChannel
+from repro.sim import Simulator
+
+
+class TestNav:
+    def test_initially_idle(self):
+        nav = Nav()
+        assert not nav.busy(0.0)
+
+    def test_set_and_expire(self):
+        nav = Nav()
+        assert nav.set(5.0)
+        assert nav.busy(4.999)
+        assert not nav.busy(5.0)
+
+    def test_only_extends_forward(self):
+        nav = Nav()
+        nav.set(5.0)
+        assert not nav.set(3.0)
+        assert nav.until == 5.0
+
+    def test_clear(self):
+        nav = Nav()
+        nav.set(5.0)
+        nav.clear()
+        assert not nav.busy(1.0)
+
+
+class TestMacParams:
+    def test_backoff_doubling_caps_at_cw_max(self):
+        p = MacParams()
+        cw = p.cw_min
+        seen = [cw]
+        for _ in range(10):
+            cw = p.next_cw(cw)
+            seen.append(cw)
+        assert seen[:6] == [31, 63, 127, 255, 511, 1023]
+        assert max(seen) == p.cw_max
+
+    def test_difs_is_sifs_plus_two_slots(self):
+        p = MacParams()
+        assert p.difs == pytest.approx(p.sifs + 2 * p.slot_time)
+
+
+class TestUtilizationMeter:
+    def test_accumulates_busy_time(self):
+        meter = MediumUtilizationMeter()
+        meter.on_busy(1.0)
+        meter.on_idle(3.0)
+        assert meter.total_busy_time(5.0) == pytest.approx(2.0)
+
+    def test_open_busy_interval_counts_up_to_now(self):
+        meter = MediumUtilizationMeter()
+        meter.on_busy(1.0)
+        assert meter.total_busy_time(4.0) == pytest.approx(3.0)
+
+    def test_busy_fraction_window(self):
+        meter = MediumUtilizationMeter()
+        meter.on_busy(0.0)
+        meter.on_idle(1.0)
+        baseline = meter.total_busy_time(2.0)
+        meter.on_busy(2.0)
+        meter.on_idle(2.5)
+        assert meter.busy_fraction(2.0, baseline, 4.0) == pytest.approx(0.25)
+
+    def test_double_transitions_are_idempotent(self):
+        meter = MediumUtilizationMeter()
+        meter.on_busy(0.0)
+        meter.on_busy(1.0)
+        meter.on_idle(2.0)
+        meter.on_idle(3.0)
+        assert meter.total_busy_time(4.0) == pytest.approx(2.0)
+
+
+class UpperLayer:
+    """Records MAC delivery callbacks."""
+
+    def __init__(self) -> None:
+        self.delivered = []
+        self.tx_ok = []
+        self.failures = []
+
+    def mac_deliver(self, packet, from_addr):
+        self.delivered.append((packet, from_addr))
+
+    def mac_tx_ok(self, next_hop, packet):
+        self.tx_ok.append((next_hop, packet))
+
+    def mac_link_failure(self, next_hop, packet):
+        self.failures.append((next_hop, packet))
+
+
+def build_macs(positions):
+    sim = Simulator(seed=3)
+    channel = WirelessChannel(sim)
+    macs, uppers, queues = [], [], []
+    for i, pos in enumerate(positions):
+        radio = Radio(sim, i)
+        channel.register(radio, pos)
+        mac = DcfMac(sim, channel, radio, i)
+        queue = DropTailQueue(50)
+        upper = UpperLayer()
+        mac.queue = queue
+        mac.listener = upper
+        queue.on_wakeup = mac.wakeup
+        macs.append(mac)
+        uppers.append(upper)
+        queues.append(queue)
+    return sim, macs, uppers, queues
+
+
+class Payload:
+    def __init__(self, name="p"):
+        self.name = name
+
+
+class TestDcfExchange:
+    def test_unicast_delivers_with_rts_cts(self):
+        sim, macs, uppers, queues = build_macs([Position(0), Position(200)])
+        payload = Payload()
+        queues[0].enqueue(QueuedPacket(payload, next_hop=1, size_bytes=1000))
+        sim.run(until=0.1)
+        assert [p for p, _ in uppers[1].delivered] == [payload]
+        assert uppers[0].tx_ok == [(1, payload)]
+        assert macs[0].counters.rts_tx == 1
+        assert macs[1].counters.cts_tx == 1
+        assert macs[1].counters.ack_tx == 1
+        assert macs[0].counters.data_tx == 1
+
+    def test_from_addr_is_sender_mac(self):
+        sim, macs, uppers, queues = build_macs([Position(0), Position(200)])
+        queues[0].enqueue(QueuedPacket(Payload(), next_hop=1, size_bytes=100))
+        sim.run(until=0.1)
+        assert uppers[1].delivered[0][1] == 0
+
+    def test_multiple_packets_in_order(self):
+        sim, macs, uppers, queues = build_macs([Position(0), Position(200)])
+        payloads = [Payload(str(i)) for i in range(5)]
+        for p in payloads:
+            queues[0].enqueue(QueuedPacket(p, next_hop=1, size_bytes=1000))
+        sim.run(until=1.0)
+        assert [p.name for p, _ in uppers[1].delivered] == ["0", "1", "2", "3", "4"]
+
+    def test_broadcast_reaches_all_neighbors_without_ack(self):
+        sim, macs, uppers, queues = build_macs(
+            [Position(0), Position(200), Position(-200)]
+        )
+        payload = Payload()
+        queues[0].enqueue(QueuedPacket(payload, next_hop=BROADCAST, size_bytes=100))
+        sim.run(until=0.1)
+        assert [p for p, _ in uppers[1].delivered] == [payload]
+        assert [p for p, _ in uppers[2].delivered] == [payload]
+        assert macs[0].counters.broadcast_tx == 1
+        assert macs[0].counters.rts_tx == 0
+
+    def test_retry_limit_reports_link_failure(self):
+        # Next hop 9 does not exist: every RTS goes unanswered.
+        sim, macs, uppers, queues = build_macs([Position(0), Position(200)])
+        payload = Payload()
+        queues[0].enqueue(QueuedPacket(payload, next_hop=9, size_bytes=1000))
+        sim.run(until=2.0)
+        assert uppers[0].failures == [(9, payload)]
+        assert macs[0].counters.drops_retry_limit == 1
+        assert macs[0].counters.retries == macs[0].params.short_retry_limit
+
+    def test_next_packet_sent_after_link_failure(self):
+        sim, macs, uppers, queues = build_macs([Position(0), Position(200)])
+        queues[0].enqueue(QueuedPacket(Payload("dead"), next_hop=9, size_bytes=100))
+        ok = Payload("ok")
+        queues[0].enqueue(QueuedPacket(ok, next_hop=1, size_bytes=100))
+        sim.run(until=2.0)
+        assert [p for p, _ in uppers[1].delivered] == [ok]
+
+    def test_duplicate_data_detected_by_receiver(self):
+        sim, macs, uppers, queues = build_macs([Position(0), Position(200)])
+        queues[0].enqueue(QueuedPacket(Payload(), next_hop=1, size_bytes=100))
+        sim.run(until=0.1)
+
+        # Replay the same frame_id manually: receiver must ACK but not
+        # deliver twice.
+        frame = MacFrame(
+            FrameKind.DATA,
+            src=0,
+            dst=1,
+            size_bytes=128,
+            duration=0.0,
+            frame_id=macs[0]._frame_id,
+            payload=Payload("dup"),
+        )
+        macs[1].phy_receive(frame)
+        sim.run(until=0.2)
+        assert len(uppers[1].delivered) == 1
+        assert macs[1].counters.duplicates_rx == 1
+
+    def test_third_party_sets_nav_and_defers(self):
+        # 0 -> 1 exchange; node 2 hears node 1 (250 m) and must defer.
+        sim, macs, uppers, queues = build_macs(
+            [Position(0), Position(250), Position(500)]
+        )
+        queues[0].enqueue(QueuedPacket(Payload(), next_hop=1, size_bytes=1400))
+        sim.run(until=0.004)  # mid-exchange
+        assert macs[2].nav.busy(sim.now) or macs[2].radio.carrier_busy
+        sim.run(until=0.1)
+        assert [p for p, _ in uppers[1].delivered]
+
+    def test_hidden_terminals_collide_and_recover(self):
+        # 0 and 2 both send to 1; they are 500 m apart (sensed!), so make
+        # them hidden: use 3 nodes spaced 300 m with cs=560 -> 0 and 2 are
+        # 600 m apart (hidden) but both reach 1?  300 > rx 250, so instead:
+        # positions 0, 250, 500 are NOT hidden (500 < 560).  Use a line of
+        # 0, 250, 500, 750: nodes 0 and 3 are hidden, both sending to their
+        # neighbours concurrently exercises deferral + retries.
+        sim, macs, uppers, queues = build_macs(
+            [Position(0), Position(250), Position(500), Position(750)]
+        )
+        for _ in range(5):
+            queues[0].enqueue(QueuedPacket(Payload("a"), next_hop=1, size_bytes=1400))
+            queues[3].enqueue(QueuedPacket(Payload("b"), next_hop=2, size_bytes=1400))
+        sim.run(until=2.0)
+        assert len(uppers[1].delivered) == 5
+        assert len(uppers[2].delivered) == 5
+
+    def test_service_meter_tracks_packet_in_service(self):
+        sim, macs, uppers, queues = build_macs([Position(0), Position(200)])
+        assert macs[0].service_meter.total_busy_time(0.0) == 0.0
+        queues[0].enqueue(QueuedPacket(Payload(), next_hop=1, size_bytes=1000))
+        sim.run(until=1.0)
+        busy = macs[0].service_meter.total_busy_time(sim.now)
+        assert 0.0 < busy < 0.1  # one exchange worth of service time
+
+    def test_state_returns_to_idle(self):
+        sim, macs, uppers, queues = build_macs([Position(0), Position(200)])
+        queues[0].enqueue(QueuedPacket(Payload(), next_hop=1, size_bytes=100))
+        sim.run(until=1.0)
+        assert macs[0].state is DcfState.IDLE
+        assert not macs[0].busy_with_packet

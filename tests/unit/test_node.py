@@ -1,0 +1,134 @@
+"""Unit tests for the Node glue layer (packet + forwarding + stampers)."""
+
+import pytest
+
+from repro.net import Node, Packet
+from repro.phy import Position, WirelessChannel
+from repro.routing import install_static_routing
+from repro.sim import Simulator
+
+
+class PortProbe:
+    def __init__(self):
+        self.packets = []
+
+    def receive_packet(self, packet):
+        self.packets.append(packet)
+
+
+class Probe:
+    """Payload carrying a dport so the node can demux it."""
+
+    def __init__(self, dport):
+        self.dport = dport
+
+
+def build_chain_nodes(n, seed=1):
+    sim = Simulator(seed=seed)
+    channel = WirelessChannel(sim)
+    nodes = [Node(sim, channel, i, Position(250.0 * i)) for i in range(n)]
+    install_static_routing(nodes, channel)
+    return sim, nodes
+
+
+class TestPacket:
+    def test_uids_are_unique(self):
+        a = Packet(src=0, dst=1, protocol="x", size_bytes=10)
+        b = Packet(src=0, dst=1, protocol="x", size_bytes=10)
+        assert a.uid != b.uid
+
+    def test_aged_copy_decrements_ttl_and_keeps_fields(self):
+        p = Packet(src=0, dst=5, protocol="x", size_bytes=10, ttl=7, avbw_s=3)
+        q = p.aged_copy()
+        assert (q.ttl, q.src, q.dst, q.avbw_s) == (6, 0, 5, 3)
+        assert q.uid != p.uid
+
+
+class TestNodeDelivery:
+    def test_end_to_end_delivery_over_two_hops(self):
+        sim, nodes = build_chain_nodes(3)
+        probe = PortProbe()
+        nodes[2].bind_port(80, probe)
+        nodes[0].send(
+            Packet(src=0, dst=2, protocol="raw", size_bytes=500, payload=Probe(80))
+        )
+        sim.run(until=1.0)
+        assert len(probe.packets) == 1
+        assert nodes[1].counters.forwarded == 1
+        assert nodes[2].counters.delivered == 1
+
+    def test_unbound_port_counts_drop(self):
+        sim, nodes = build_chain_nodes(2)
+        nodes[0].send(
+            Packet(src=0, dst=1, protocol="raw", size_bytes=100, payload=Probe(99))
+        )
+        sim.run(until=1.0)
+        assert nodes[1].counters.no_handler_drops == 1
+
+    def test_loopback_delivery(self):
+        sim, nodes = build_chain_nodes(1)
+        probe = PortProbe()
+        nodes[0].bind_port(5, probe)
+        nodes[0].send(
+            Packet(src=0, dst=0, protocol="raw", size_bytes=10, payload=Probe(5))
+        )
+        assert len(probe.packets) == 1
+
+    def test_ttl_exhaustion_drops(self):
+        sim, nodes = build_chain_nodes(3)
+        probe = PortProbe()
+        nodes[2].bind_port(80, probe)
+        nodes[0].send(
+            Packet(
+                src=0, dst=2, protocol="raw", size_bytes=100, payload=Probe(80), ttl=1
+            )
+        )
+        sim.run(until=1.0)
+        assert probe.packets == []
+        assert nodes[1].counters.ttl_drops == 1
+
+    def test_double_bind_rejected(self):
+        sim, nodes = build_chain_nodes(1)
+        nodes[0].bind_port(1, PortProbe())
+        with pytest.raises(ValueError):
+            nodes[0].bind_port(1, PortProbe())
+
+    def test_no_route_consults_routing(self):
+        sim, nodes = build_chain_nodes(2)
+        # destination 99 unknown to the static table
+        nodes[0].send(Packet(src=0, dst=99, protocol="raw", size_bytes=10))
+        assert nodes[0].routing.counters.no_route_drops == 1
+
+
+class TestStampers:
+    def test_stampers_run_on_origination_and_forwarding(self):
+        sim, nodes = build_chain_nodes(3)
+        stamped = []
+        for node in nodes:
+            node.stampers.append(
+                lambda pkt, nid=node.node_id: stamped.append(nid)
+            )
+        probe = PortProbe()
+        nodes[2].bind_port(80, probe)
+        nodes[0].send(
+            Packet(src=0, dst=2, protocol="raw", size_bytes=100, payload=Probe(80))
+        )
+        sim.run(until=1.0)
+        # stamped at origin (0) and at the forwarder (1), not at delivery.
+        assert stamped == [0, 1]
+
+    def test_stamper_lowers_avbw_s_like_drai(self):
+        sim, nodes = build_chain_nodes(3)
+        nodes[1].stampers.append(
+            lambda pkt: setattr(pkt, "avbw_s", min(pkt.avbw_s, 2))
+            if pkt.avbw_s is not None
+            else None
+        )
+        probe = PortProbe()
+        nodes[2].bind_port(80, probe)
+        pkt = Packet(
+            src=0, dst=2, protocol="raw", size_bytes=100, payload=Probe(80), avbw_s=5
+        )
+        nodes[0].send(pkt)
+        sim.run(until=1.0)
+        assert probe.packets[0].avbw_s == 2

@@ -1,0 +1,136 @@
+"""Unit tests for positions, propagation, error models and frame timing."""
+
+import random
+
+import pytest
+
+from repro.phy import (
+    DiskPropagation,
+    GilbertElliott,
+    NoError,
+    PacketErrorRate,
+    PhyParams,
+    Position,
+    UniformBitError,
+)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Position(10, -2), Position(-5, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_positions_are_hashable_value_objects(self):
+        assert Position(1, 2) == Position(1, 2)
+        assert len({Position(1, 2), Position(1, 2)}) == 1
+
+
+class TestDiskPropagation:
+    def test_defaults_match_paper_setup(self):
+        model = DiskPropagation()
+        assert model.rx_range == 250.0
+        assert model.cs_range > model.rx_range
+
+    def test_receive_within_range_only(self):
+        model = DiskPropagation(rx_range=250.0, cs_range=550.0)
+        a = Position(0, 0)
+        assert model.can_receive(a, Position(250, 0))
+        assert not model.can_receive(a, Position(251, 0))
+
+    def test_sense_extends_beyond_receive(self):
+        model = DiskPropagation(rx_range=250.0, cs_range=550.0)
+        a = Position(0, 0)
+        assert model.can_sense(a, Position(500, 0))
+        assert not model.can_sense(a, Position(551, 0))
+
+    def test_rx_power_follows_inverse_fourth_power(self):
+        model = DiskPropagation()
+        assert model.rx_power(500.0) == pytest.approx(model.rx_power(250.0) / 16.0)
+
+    def test_rx_power_floors_tiny_distances(self):
+        model = DiskPropagation()
+        assert model.rx_power(0.0) == model.rx_power(1.0)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            DiskPropagation(rx_range=0.0)
+        with pytest.raises(ValueError):
+            DiskPropagation(rx_range=250.0, cs_range=100.0)
+
+
+class TestErrorModels:
+    def test_no_error_never_corrupts(self):
+        rng = random.Random(1)
+        model = NoError()
+        assert not any(model.frame_corrupted(rng, 1500, 0.0) for _ in range(100))
+
+    def test_uniform_ber_zero_never_corrupts(self):
+        rng = random.Random(1)
+        model = UniformBitError(0.0)
+        assert not any(model.frame_corrupted(rng, 1500, 0.0) for _ in range(100))
+
+    def test_uniform_ber_rate_is_plausible(self):
+        rng = random.Random(1)
+        ber = 1e-5
+        model = UniformBitError(ber)
+        n = 5000
+        losses = sum(model.frame_corrupted(rng, 1500, 0.0) for _ in range(n))
+        expected = 1 - (1 - ber) ** (1500 * 8)  # ~11.3%
+        assert losses / n == pytest.approx(expected, abs=0.03)
+
+    def test_uniform_ber_validation(self):
+        with pytest.raises(ValueError):
+            UniformBitError(-0.1)
+        with pytest.raises(ValueError):
+            UniformBitError(1.0)
+
+    def test_packet_error_rate_statistics(self):
+        rng = random.Random(2)
+        model = PacketErrorRate(0.25)
+        n = 4000
+        losses = sum(model.frame_corrupted(rng, 100, 0.0) for _ in range(n))
+        assert losses / n == pytest.approx(0.25, abs=0.03)
+
+    def test_packet_error_rate_validation(self):
+        with pytest.raises(ValueError):
+            PacketErrorRate(1.5)
+
+    def test_gilbert_elliott_is_burstier_than_uniform(self):
+        """In the bad state losses cluster; measure run lengths."""
+        rng = random.Random(3)
+        model = GilbertElliott(
+            ber_good=0.0, ber_bad=0.02, mean_good=1.0, mean_bad=0.2
+        )
+        outcomes = [
+            model.frame_corrupted(rng, 1500, t * 0.01) for t in range(20000)
+        ]
+        losses = sum(outcomes)
+        assert losses > 0
+        # consecutive-loss pairs should be far above the independent-loss
+        # expectation p^2 * n
+        pairs = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a and b)
+        p = losses / len(outcomes)
+        independent_pairs = p * p * len(outcomes)
+        assert pairs > 3 * independent_pairs
+
+    def test_gilbert_elliott_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(mean_good=0.0)
+
+
+class TestPhyParams:
+    def test_data_tx_time_includes_plcp(self):
+        phy = PhyParams()
+        # 1528 bytes at 2 Mb/s = 6.112 ms + 192 us PLCP
+        assert phy.data_tx_time(1528) == pytest.approx(0.006112 + 192e-6)
+
+    def test_control_frames_go_at_basic_rate(self):
+        phy = PhyParams()
+        assert phy.control_tx_time(14) == pytest.approx(192e-6 + 14 * 8 / 1e6)
+
+    def test_control_slower_than_data_per_byte(self):
+        phy = PhyParams()
+        assert phy.control_tx_time(100) > phy.data_tx_time(100)

@@ -1,0 +1,147 @@
+"""Unit tests for the TCP sink (cumulative ACKs, SACK blocks, MRAI echo)."""
+
+from repro.net import Node, Packet
+from repro.phy import Position, WirelessChannel
+from repro.sim import Simulator
+from repro.transport import TcpSink, TcpSegment
+
+
+def build_sink(sack=False):
+    sim = Simulator(seed=1)
+    channel = WirelessChannel(sim)
+    node = Node(sim, channel, 1, Position(0))
+    sink = TcpSink(sim, node, port=20, sack=sack)
+    return sim, node, sink
+
+
+def data_packet(seq, avbw_s=None, payload_bytes=1460):
+    segment = TcpSegment("data", sport=10, dport=20, seq=seq, payload_bytes=payload_bytes)
+    return Packet(
+        src=0, dst=1, protocol="tcp", size_bytes=segment.wire_bytes(),
+        payload=segment, avbw_s=avbw_s,
+    )
+
+
+def acks_of(node):
+    return [p.payload for p in node.mac.queue._items] if False else None
+
+
+class SinkHarness:
+    """Captures the ACK packets the sink emits (bypassing the network)."""
+
+    def __init__(self, sack=False):
+        self.sim, self.node, self.sink = build_sink(sack)
+        self.acks = []
+        self.node.send = lambda packet: self.acks.append(packet)
+
+    def deliver(self, seq, **kwargs):
+        self.sink.receive_packet(data_packet(seq, **kwargs))
+
+    def last_ack(self):
+        return self.acks[-1].payload
+
+
+def test_in_order_delivery_acks_next_expected():
+    h = SinkHarness()
+    h.deliver(0)
+    h.deliver(1)
+    assert h.sink.rcv_nxt == 2
+    assert h.last_ack().ack == 2
+    assert h.sink.delivered_packets == 2
+    assert h.sink.delivered_bytes == 2 * 1460
+
+
+def test_out_of_order_generates_duplicate_acks():
+    h = SinkHarness()
+    h.deliver(0)
+    h.deliver(2)
+    h.deliver(3)
+    assert [p.payload.ack for p in h.acks] == [1, 1, 1]
+    assert h.sink.delivered_packets == 1
+
+
+def test_hole_fill_releases_buffered_segments():
+    h = SinkHarness()
+    h.deliver(0)
+    h.deliver(2)
+    h.deliver(3)
+    h.deliver(1)
+    assert h.sink.rcv_nxt == 4
+    assert h.last_ack().ack == 4
+    assert h.sink.delivered_packets == 4
+
+
+def test_duplicate_data_counted_and_still_acked():
+    h = SinkHarness()
+    h.deliver(0)
+    h.deliver(0)
+    assert h.sink.duplicate_data == 1
+    assert len(h.acks) == 2
+
+
+def test_duplicate_out_of_order_counted():
+    h = SinkHarness()
+    h.deliver(5)
+    h.deliver(5)
+    assert h.sink.duplicate_data == 1
+
+
+def test_ack_addressing_reverses_ports_and_hosts():
+    h = SinkHarness()
+    h.deliver(0)
+    ack_packet = h.acks[0]
+    assert ack_packet.dst == 0
+    assert ack_packet.payload.dport == 10
+    assert ack_packet.payload.sport == 20
+
+
+def test_mrai_echo_copies_avbw_s_of_triggering_packet():
+    h = SinkHarness()
+    h.deliver(0, avbw_s=3)
+    assert h.last_ack().echo_mrai == 3
+    h.deliver(2, avbw_s=1)  # dup ack triggered by marked packet
+    assert h.last_ack().echo_mrai == 1
+    h.deliver(3, avbw_s=None)
+    assert h.last_ack().echo_mrai is None
+
+
+def test_sack_blocks_describe_out_of_order_runs():
+    h = SinkHarness(sack=True)
+    h.deliver(0)
+    h.deliver(2)
+    h.deliver(3)
+    h.deliver(6)
+    blocks = h.last_ack().sack_blocks
+    assert blocks == ((2, 4), (6, 7))
+
+
+def test_sack_blocks_capped_at_three():
+    h = SinkHarness(sack=True)
+    h.deliver(0)
+    for seq in (2, 4, 6, 8, 10):
+        h.deliver(seq)
+    assert len(h.last_ack().sack_blocks) == 3
+
+
+def test_sack_disabled_sends_no_blocks():
+    h = SinkHarness(sack=False)
+    h.deliver(0)
+    h.deliver(2)
+    assert h.last_ack().sack_blocks == ()
+
+
+def test_delivery_timestamps_recorded():
+    h = SinkHarness()
+    assert h.sink.first_delivery is None
+    h.deliver(0)
+    assert h.sink.first_delivery is not None
+    assert h.sink.last_delivery is not None
+
+
+def test_non_data_segments_ignored():
+    h = SinkHarness()
+    ack_seg = TcpSegment("ack", sport=10, dport=20, ack=5)
+    h.sink.receive_packet(
+        Packet(src=0, dst=1, protocol="tcp", size_bytes=40, payload=ack_seg)
+    )
+    assert h.acks == []

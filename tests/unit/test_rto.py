@@ -1,0 +1,72 @@
+"""Unit tests for the RTT estimator and RTO computation."""
+
+import pytest
+
+from repro.transport import RttEstimator
+
+
+def test_initial_rto_before_any_sample():
+    est = RttEstimator(initial_rto=3.0)
+    assert est.rto == 3.0
+
+
+def test_first_sample_initialises_srtt_and_rttvar():
+    est = RttEstimator()
+    est.sample(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+    assert est.rto == pytest.approx(max(0.1 + 4 * 0.05, est.min_rto))
+
+
+def test_smoothing_follows_jacobson_gains():
+    est = RttEstimator()
+    est.sample(0.1)
+    est.sample(0.2)
+    assert est.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+
+
+def test_rto_clamped_to_min():
+    est = RttEstimator(min_rto=0.2)
+    for _ in range(20):
+        est.sample(0.001)
+    assert est.rto == 0.2
+
+
+def test_rto_clamped_to_max():
+    est = RttEstimator(max_rto=8.0)
+    est.sample(100.0)
+    assert est.rto == 8.0
+
+
+def test_backoff_doubles_and_caps():
+    est = RttEstimator(min_rto=0.2, max_rto=8.0)
+    est.sample(0.1)
+    base = est.rto
+    est.backoff()
+    assert est.rto == pytest.approx(min(base * 2, 8.0))
+    for _ in range(10):
+        est.backoff()
+    assert est.rto == 8.0
+
+
+def test_valid_sample_resets_backoff():
+    est = RttEstimator()
+    est.sample(0.1)
+    est.backoff()
+    est.backoff()
+    assert est.backoff_factor == 4
+    est.sample(0.1)
+    assert est.backoff_factor == 1
+
+
+def test_negative_sample_rejected():
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.sample(-0.1)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=0.0)
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=2.0, max_rto=1.0)

@@ -1,0 +1,117 @@
+"""Unit tests for the SACK scoreboard and the SACK sender."""
+
+import pytest
+
+from repro.transport import SackScoreboard, TcpSack
+
+from .tcp_harness import ack, make_sender, sent_seqs
+
+
+class TestScoreboard:
+    def test_update_merges_blocks(self):
+        sb = SackScoreboard()
+        sb.update([(5, 8), (10, 12)], snd_una=0)
+        assert sb.is_sacked(5) and sb.is_sacked(7) and sb.is_sacked(11)
+        assert not sb.is_sacked(8)
+        assert sb.sacked_count() == 5
+
+    def test_update_purges_below_snd_una(self):
+        sb = SackScoreboard()
+        sb.update([(5, 10)], snd_una=0)
+        sb.update([], snd_una=8)
+        assert not sb.is_sacked(5)
+        assert sb.is_sacked(8)
+
+    def test_next_hole_is_first_unsacked_below_highest(self):
+        sb = SackScoreboard()
+        sb.update([(5, 6), (8, 10)], snd_una=3)
+        assert sb.next_hole(3) == 3
+        sb.mark_retransmitted(3)
+        assert sb.next_hole(3) == 4
+        sb.mark_retransmitted(4)
+        sb.mark_retransmitted(6)
+        sb.mark_retransmitted(7)
+        assert sb.next_hole(3) is None
+
+    def test_next_hole_empty_scoreboard(self):
+        assert SackScoreboard().next_hole(0) is None
+
+    def test_reset_episode_clears_retransmission_marks_only(self):
+        sb = SackScoreboard()
+        sb.update([(5, 6)], snd_una=0)
+        sb.mark_retransmitted(0)
+        sb.reset_episode()
+        assert sb.next_hole(0) == 0
+        assert sb.is_sacked(5)
+
+    def test_clear(self):
+        sb = SackScoreboard()
+        sb.update([(5, 6)], snd_una=0)
+        sb.clear()
+        assert sb.sacked_count() == 0
+
+
+class TestSackSender:
+    def prime(self, window=32):
+        sim, node, sender = make_sender(TcpSack, window=window)
+        for i in range(1, 9):
+            ack(sender, i)
+        return sim, node, sender
+
+    def test_needs_sack_sink_flag(self):
+        assert TcpSack.needs_sack_sink
+
+    def test_enter_recovery_halves_without_inflation(self):
+        sim, node, sender = self.prime()
+        una = sender.snd_una
+        for k in range(3):
+            ack(sender, una, sacks=[(una + 1 + k, una + 2 + k)])
+        assert sender.in_recovery
+        assert sender.cwnd == pytest.approx(sender.ssthresh)
+        assert sent_seqs(node).count(una) == 2  # hole retransmitted
+
+    def test_holes_filled_before_new_data(self):
+        sim, node, sender = self.prime()
+        una = sender.snd_una
+        # SACK blocks reveal two holes: una and una+2
+        ack(sender, una, sacks=[(una + 1, una + 2)])
+        ack(sender, una, sacks=[(una + 1, una + 2), (una + 3, una + 5)])
+        ack(sender, una, sacks=[(una + 1, una + 2), (una + 3, una + 6)])
+        # further dupACKs shrink the pipe until the second hole is sent
+        for k in range(6):
+            ack(sender, una, sacks=[(una + 1, una + 2), (una + 3, una + 7 + k)])
+        sent = sent_seqs(node)
+        assert sent.count(una) == 2
+        assert sent.count(una + 2) == 2
+        # the second hole went out before any new data beyond the recovery
+        # point was clocked
+        assert sent.index(una + 2, sent.index(una + 2) + 1) < len(sent)
+
+    def test_partial_ack_keeps_recovery_and_decrements_pipe(self):
+        sim, node, sender = self.prime()
+        una = sender.snd_una
+        for k in range(3):
+            ack(sender, una, sacks=[(una + 1, una + 2 + k)])
+        pipe_before = sender._pipe
+        ack(sender, una + 1, sacks=[(una + 2, una + 4)])
+        assert sender.in_recovery
+        assert sender._pipe <= pipe_before
+
+    def test_full_ack_exits_recovery(self):
+        sim, node, sender = self.prime()
+        una = sender.snd_una
+        for k in range(3):
+            ack(sender, una, sacks=[(una + 1, una + 2 + k)])
+        ack(sender, sender.recover)
+        assert not sender.in_recovery
+        assert sender.cwnd == pytest.approx(sender.ssthresh)
+
+    def test_timeout_resets_pipe_and_episode(self):
+        sim, node, sender = self.prime()
+        una = sender.snd_una
+        for k in range(3):
+            ack(sender, una, sacks=[(una + 1, una + 2 + k)])
+        sim.run(until=sim.now + 10.0)
+        assert sender.stats.timeouts >= 1
+        assert sender._pipe == 0
+        assert sender.cwnd == 1.0

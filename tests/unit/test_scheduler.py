@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim import EventScheduler, SchedulerError
+
+
+def test_runs_events_in_time_order():
+    sched = EventScheduler()
+    order = []
+    sched.schedule(2.0, order.append, "b")
+    sched.schedule(1.0, order.append, "a")
+    sched.schedule(3.0, order.append, "c")
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_times():
+    sched = EventScheduler()
+    times = []
+    sched.schedule(0.5, lambda: times.append(sched.now))
+    sched.schedule(1.5, lambda: times.append(sched.now))
+    sched.run()
+    assert times == [0.5, 1.5]
+
+
+def test_same_time_events_run_in_insertion_order():
+    sched = EventScheduler()
+    order = []
+    for label in "abcde":
+        sched.schedule(1.0, order.append, label)
+    sched.run()
+    assert order == list("abcde")
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    sched = EventScheduler()
+    order = []
+    sched.schedule(1.0, order.append, "low", priority=1)
+    sched.schedule(1.0, order.append, "high", priority=0)
+    sched.run()
+    assert order == ["high", "low"]
+
+
+def test_cancelled_event_does_not_run():
+    sched = EventScheduler()
+    fired = []
+    event = sched.schedule(1.0, fired.append, "x")
+    sched.cancel(event)
+    sched.run()
+    assert fired == []
+    assert sched.pending_events == 0
+
+
+def test_cancel_none_is_noop():
+    sched = EventScheduler()
+    sched.cancel(None)  # must not raise
+
+
+def test_double_cancel_does_not_corrupt_pending_count():
+    sched = EventScheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.cancel(event)
+    sched.cancel(event)
+    assert sched.pending_events == 0
+
+
+def test_schedule_in_past_raises():
+    sched = EventScheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SchedulerError):
+        sched.schedule(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sched = EventScheduler()
+    with pytest.raises(SchedulerError):
+        sched.schedule_after(-0.1, lambda: None)
+
+
+def test_run_until_stops_at_boundary_and_advances_clock():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, 1)
+    sched.schedule(5.0, fired.append, 5)
+    sched.run(until=2.0)
+    assert fired == [1]
+    assert sched.now == 2.0
+    # the 5.0 event remains runnable afterwards
+    sched.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_includes_events_exactly_at_boundary():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(2.0, fired.append, "edge")
+    sched.run(until=2.0)
+    assert fired == ["edge"]
+
+
+def test_events_scheduled_during_run_are_executed():
+    sched = EventScheduler()
+    order = []
+
+    def first():
+        order.append("first")
+        sched.schedule_after(1.0, lambda: order.append("second"))
+
+    sched.schedule(1.0, first)
+    sched.run()
+    assert order == ["first", "second"]
+
+
+def test_max_events_limits_execution():
+    sched = EventScheduler()
+    fired = []
+    for i in range(10):
+        sched.schedule(float(i + 1), fired.append, i)
+    sched.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_halts_run():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, 1)
+    sched.schedule(2.0, sched.stop)
+    sched.schedule(3.0, fired.append, 3)
+    sched.run()
+    assert fired == [1]
+
+
+def test_step_returns_false_on_empty_queue():
+    sched = EventScheduler()
+    assert sched.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sched = EventScheduler()
+    first = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    sched.cancel(first)
+    assert sched.peek_time() == 2.0
+
+
+def test_processed_event_count():
+    sched = EventScheduler()
+    for i in range(5):
+        sched.schedule(float(i), lambda: None)
+    sched.run()
+    assert sched.processed_events == 5
+
+
+def test_reentrant_run_raises():
+    sched = EventScheduler()
+
+    def reenter():
+        with pytest.raises(SchedulerError):
+            sched.run()
+
+    sched.schedule(1.0, reenter)
+    sched.run()

@@ -1,0 +1,120 @@
+"""Unit tests for fairness, time series and throughput statistics."""
+
+import pytest
+
+from repro.stats import (
+    differentiate,
+    goodput_kbps,
+    jain_index,
+    resample,
+    time_average,
+    value_at,
+    worst_case_index,
+)
+
+
+class TestJainIndex:
+    def test_equal_allocations_are_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_approaches_one_over_n(self):
+        assert jain_index([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_paper_style_two_flows(self):
+        # the 2-flow index used in Fig 5.18
+        assert jain_index([300.0, 100.0]) == pytest.approx(
+            (400.0**2) / (2 * (300.0**2 + 100.0**2))
+        )
+
+    def test_empty_and_zero_are_vacuously_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariance(self):
+        xs = [1.0, 2.0, 3.0]
+        assert jain_index(xs) == pytest.approx(jain_index([10 * x for x in xs]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([-1.0, 1.0])
+
+    def test_worst_case(self):
+        assert worst_case_index(4) == 0.25
+        with pytest.raises(ValueError):
+            worst_case_index(0)
+
+
+class TestTimeSeries:
+    SERIES = [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]
+
+    def test_value_at_step_semantics(self):
+        assert value_at(self.SERIES, -0.5, default=9.0) == 9.0
+        assert value_at(self.SERIES, 0.0) == 1.0
+        assert value_at(self.SERIES, 0.99) == 1.0
+        assert value_at(self.SERIES, 1.0) == 3.0
+        assert value_at(self.SERIES, 99.0) == 2.0
+
+    def test_resample_grid(self):
+        grid = resample(self.SERIES, 0.0, 2.0, 0.5)
+        assert grid == [
+            (0.0, 1.0), (0.5, 1.0), (1.0, 3.0), (1.5, 3.0), (2.0, 2.0)
+        ]
+
+    def test_resample_validates_step(self):
+        with pytest.raises(ValueError):
+            resample(self.SERIES, 0.0, 1.0, 0.0)
+
+    def test_differentiate_rates(self):
+        cumulative = [(0.0, 0.0), (1.0, 10.0), (3.0, 30.0)]
+        assert differentiate(cumulative) == [(1.0, 10.0), (3.0, 10.0)]
+
+    def test_differentiate_handles_zero_dt(self):
+        assert differentiate([(1.0, 0.0), (1.0, 5.0)]) == [(1.0, 0.0)]
+
+    def test_time_average_weighs_durations(self):
+        # value 1 for 1 s, then 3 for 1 s -> mean 2 over [0, 2]
+        assert time_average(self.SERIES, 0.0, 2.0) == pytest.approx(2.0)
+
+    def test_time_average_partial_window(self):
+        assert time_average(self.SERIES, 1.0, 2.0) == pytest.approx(3.0)
+
+    def test_time_average_validates_window(self):
+        with pytest.raises(ValueError):
+            time_average(self.SERIES, 2.0, 1.0)
+
+
+class TestThroughput:
+    def test_goodput_computation(self):
+        class FakeSink:
+            delivered_bytes = 125_000  # 1 Mbit
+
+        assert goodput_kbps(FakeSink(), 10.0) == pytest.approx(100.0)
+
+    def test_goodput_validates_duration(self):
+        class FakeSink:
+            delivered_bytes = 1
+
+        with pytest.raises(ValueError):
+            goodput_kbps(FakeSink(), 0.0)
+
+    def test_sampler_records_series_and_rates(self):
+        from repro.sim import Simulator
+        from repro.stats import ThroughputSampler
+
+        class FakeSink:
+            delivered_bytes = 0
+
+        sim = Simulator(seed=1)
+        sink = FakeSink()
+        sampler = ThroughputSampler(sim, sink, interval=1.0).start()
+
+        def grow():
+            sink.delivered_bytes += 1250  # 10 kbit per second
+
+        for t in (0.5, 1.5, 2.5):
+            sim.at(t, grow)
+        sim.run(until=3.0)
+        sampler.stop()
+        rates = sampler.rates_kbps()
+        assert len(rates) == 3
+        assert all(rate == pytest.approx(10.0) for _, rate in rates)

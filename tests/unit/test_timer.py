@@ -1,0 +1,113 @@
+"""Unit tests for Timer and PeriodicTimer."""
+
+import pytest
+
+from repro.sim import EventScheduler, PeriodicTimer, Timer
+
+
+def make() -> EventScheduler:
+    return EventScheduler()
+
+
+def test_timer_fires_once():
+    sched = make()
+    fired = []
+    timer = Timer(sched, lambda: fired.append(sched.now))
+    timer.start(1.5)
+    sched.run()
+    assert fired == [1.5]
+    assert not timer.running
+
+
+def test_timer_restart_replaces_pending_expiry():
+    sched = make()
+    fired = []
+    timer = Timer(sched, lambda: fired.append(sched.now))
+    timer.start(1.0)
+    timer.restart(3.0)
+    sched.run()
+    assert fired == [3.0]
+
+
+def test_timer_stop_cancels():
+    sched = make()
+    fired = []
+    timer = Timer(sched, lambda: fired.append(1))
+    timer.start(1.0)
+    timer.stop()
+    sched.run()
+    assert fired == []
+
+
+def test_timer_pause_resume_preserves_remaining_time():
+    sched = make()
+    fired = []
+    timer = Timer(sched, lambda: fired.append(sched.now))
+    timer.start(2.0)
+    sched.schedule(0.5, timer.pause)
+    sched.schedule(1.0, timer.resume)
+    sched.run()
+    # paused at 0.5 with 1.5 remaining, resumed at 1.0 -> fires at 2.5
+    assert fired == [2.5]
+
+
+def test_timer_pause_when_not_running_is_noop():
+    sched = make()
+    timer = Timer(sched, lambda: None)
+    timer.pause()
+    assert not timer.paused
+
+
+def test_timer_resume_without_pause_is_noop():
+    sched = make()
+    fired = []
+    timer = Timer(sched, lambda: fired.append(1))
+    timer.resume()
+    sched.run()
+    assert fired == []
+
+
+def test_timer_stop_discards_paused_remainder():
+    sched = make()
+    fired = []
+    timer = Timer(sched, lambda: fired.append(1))
+    timer.start(2.0)
+    sched.schedule(0.5, timer.pause)
+    sched.schedule(0.6, timer.stop)
+    sched.schedule(0.7, timer.resume)
+    sched.run()
+    assert fired == []
+
+
+def test_timer_expiry_property():
+    sched = make()
+    timer = Timer(sched, lambda: None)
+    assert timer.expiry is None
+    timer.start(4.0)
+    assert timer.expiry == pytest.approx(4.0)
+
+
+def test_periodic_timer_ticks_at_interval():
+    sched = make()
+    ticks = []
+    timer = PeriodicTimer(sched, 1.0, lambda: ticks.append(sched.now))
+    timer.start()
+    sched.schedule(3.5, timer.stop)
+    sched.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_periodic_timer_custom_first_delay():
+    sched = make()
+    ticks = []
+    timer = PeriodicTimer(sched, 1.0, lambda: ticks.append(sched.now))
+    timer.start(first_delay=0.25)
+    sched.schedule(2.5, timer.stop)
+    sched.run()
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_periodic_timer_rejects_nonpositive_interval():
+    sched = make()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sched, 0.0, lambda: None)

@@ -1,0 +1,57 @@
+"""Unit tests for the trace bus."""
+
+from repro.sim import Simulator, TraceBus, TraceRecord, TraceRecorder
+
+
+def test_subscribe_and_emit():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("cwnd", seen.append)
+    record = TraceRecord(1.0, "tcp", "cwnd", {"value": 4})
+    bus.emit(record)
+    assert seen == [record]
+
+
+def test_wildcard_subscription_receives_everything():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("*", seen.append)
+    bus.emit(TraceRecord(1.0, "a", "x", {}))
+    bus.emit(TraceRecord(2.0, "b", "y", {}))
+    assert [r.event for r in seen] == ["x", "y"]
+
+
+def test_wants_reflects_subscriptions():
+    bus = TraceBus()
+    assert not bus.wants("x")
+    bus.subscribe("x", lambda r: None)
+    assert bus.wants("x")
+    assert not bus.wants("y")
+    bus.subscribe("*", lambda r: None)
+    assert bus.wants("y")
+
+
+def test_recorder_collects_matching_records():
+    bus = TraceBus()
+    rec = TraceRecorder(bus, "drop")
+    bus.emit(TraceRecord(1.0, "q", "drop", {}))
+    bus.emit(TraceRecord(2.0, "q", "enqueue", {}))
+    bus.emit(TraceRecord(3.0, "q", "drop", {}))
+    assert len(rec) == 2
+    assert [r.time for r in rec] == [1.0, 3.0]
+
+
+def test_simulator_emit_skips_when_no_subscriber():
+    sim = Simulator(seed=1)
+    sim.emit("src", "nobody-listens", value=1)  # must not raise
+
+
+def test_simulator_emit_carries_time_and_fields():
+    sim = Simulator(seed=1)
+    seen = []
+    sim.trace.subscribe("tick", seen.append)
+    sim.after(2.5, lambda: sim.emit("clock", "tick", n=7))
+    sim.run()
+    assert len(seen) == 1
+    assert seen[0].time == 2.5
+    assert seen[0].fields == {"n": 7}

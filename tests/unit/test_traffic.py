@@ -1,0 +1,82 @@
+"""Unit tests for traffic sources (FTP flows and CBR)."""
+
+import pytest
+
+from repro.routing import install_static_routing
+from repro.topology import build_chain
+from repro.traffic import CbrSink, CbrSource, FtpFlow, start_ftp
+
+
+def build(hops=2, seed=1):
+    net = build_chain(hops, seed=seed)
+    install_static_routing(net.nodes, net.channel)
+    return net
+
+
+class TestFtp:
+    def test_start_ftp_wires_sender_and_sink(self):
+        net = build()
+        flow = start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="newreno")
+        net.sim.run(until=5.0)
+        assert flow.sink.delivered_packets > 0
+        assert flow.variant == "newreno"
+        assert flow.goodput_kbps(5.0) > 0
+
+    def test_sack_variant_gets_sack_sink(self):
+        net = build()
+        flow = start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="sack")
+        assert flow.sink.sack_enabled
+
+    def test_non_sack_variant_gets_plain_sink(self):
+        net = build()
+        flow = start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="muzha")
+        assert not flow.sink.sack_enabled
+
+    def test_delayed_start(self):
+        net = build()
+        flow = start_ftp(
+            net.sim, net.nodes[0], net.nodes[-1], variant="newreno", start_time=2.0
+        )
+        net.sim.run(until=1.9)
+        assert flow.sink.delivered_packets == 0
+        net.sim.run(until=4.0)
+        assert flow.sink.delivered_packets > 0
+
+    def test_bounded_transfer_completes(self):
+        net = build()
+        flow = start_ftp(
+            net.sim, net.nodes[0], net.nodes[-1], variant="newreno", max_packets=10
+        )
+        net.sim.run(until=10.0)
+        assert flow.sink.delivered_packets == 10
+        assert flow.sender.finished
+
+    def test_unknown_variant_rejected(self):
+        net = build()
+        with pytest.raises(KeyError):
+            start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="cubic")
+
+    def test_goodput_validates_duration(self):
+        net = build()
+        flow = start_ftp(net.sim, net.nodes[0], net.nodes[-1])
+        with pytest.raises(ValueError):
+            flow.goodput_kbps(0.0)
+
+
+class TestCbr:
+    def test_rate_and_packet_count(self):
+        net = build()
+        sink = CbrSink(net.sim, net.nodes[-1], port=99)
+        CbrSource(
+            net.sim, net.nodes[0], net.nodes[-1], port=99,
+            rate_bps=64_000, packet_bytes=400, start_time=0.0, stop_time=5.0,
+        )
+        net.sim.run(until=6.0)
+        # 64 kb/s for 5 s = 320 kbit = 100 packets of 400 B
+        assert sink.received_packets == pytest.approx(100, abs=5)
+        assert sink.received_bytes == sink.received_packets * 400
+
+    def test_rate_validation(self):
+        net = build()
+        with pytest.raises(ValueError):
+            CbrSource(net.sim, net.nodes[0], net.nodes[1], port=9, rate_bps=0)

@@ -1,0 +1,34 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_time_conversions():
+    assert units.microseconds(20) == pytest.approx(20e-6)
+    assert units.milliseconds(3) == pytest.approx(3e-3)
+    assert units.seconds(2) == 2.0
+
+
+def test_rate_conversions():
+    assert units.mbps(2) == 2e6
+    assert units.kbps(512) == 512e3
+
+
+def test_tx_duration():
+    # 1500 bytes at 2 Mb/s = 6 ms
+    assert units.tx_duration(1500, units.mbps(2)) == pytest.approx(0.006)
+
+
+def test_tx_duration_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        units.tx_duration(100, 0)
+
+
+def test_propagation_delay():
+    assert units.propagation_delay(300.0) == pytest.approx(1e-6)
+
+
+def test_bits():
+    assert units.bits(10) == 80
