@@ -1,0 +1,86 @@
+"""Campaign engine benchmarks: parallel speedup and warm-cache latency.
+
+Not a paper figure — these measure the batch engine the figure campaigns
+run on.  Three claims are exercised:
+
+* fanning a grid over 4 workers beats serial execution (>=2x on a 4-core
+  host; skipped where the hardware cannot show it);
+* worker count never changes the metrics (bit-identical fingerprints);
+* a warm cache answers the whole campaign without simulating at all.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import (
+    CampaignCache,
+    ScenarioConfig,
+    chain_grid,
+    run_campaign,
+)
+from repro.experiments.config import full_scale
+
+from conftest import banner, run_once
+
+#: >= 8 scenarios so a 4-way pool always has work for every worker.
+GRID_HOPS = (2, 3, 4, 5)
+GRID_VARIANTS = ("muzha", "newreno")
+SIM_TIME = 8.0 if full_scale() else 3.0
+
+
+def _grid():
+    return chain_grid(
+        GRID_VARIANTS, GRID_HOPS,
+        config=ScenarioConfig(sim_time=SIM_TIME, window=4),
+    )
+
+
+def test_campaign_parallel_speedup(benchmark):
+    """Serial vs 4-worker wall clock on an 8-scenario grid."""
+    grid = _grid()
+
+    serial_start = time.perf_counter()
+    serial = run_campaign(grid, jobs=1)
+    serial_elapsed = time.perf_counter() - serial_start
+
+    parallel_start = time.perf_counter()
+    parallel = run_once(benchmark, lambda: run_campaign(grid, jobs=4))
+    parallel_elapsed = time.perf_counter() - parallel_start
+
+    speedup = serial_elapsed / max(parallel_elapsed, 1e-9)
+    banner("campaign engine — serial vs 4 workers")
+    print(f"grid           : {len(grid)} scenarios x {SIM_TIME:g}s")
+    print(f"serial (jobs=1): {serial_elapsed:6.2f}s")
+    print(f"pool  (jobs=4) : {parallel_elapsed:6.2f}s")
+    print(f"speedup        : {speedup:5.2f}x on {os.cpu_count()} cores")
+
+    assert parallel.fingerprint() == serial.fingerprint(), (
+        "worker count changed the campaign's metrics"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, f"expected >=2x on >=4 cores, got {speedup:.2f}x"
+    elif (os.cpu_count() or 1) < 2:
+        pytest.skip(f"speedup not measurable on {os.cpu_count()} core(s)")
+
+
+def test_campaign_warm_cache_executes_nothing(benchmark, tmp_path):
+    """A warm cache must answer the grid with zero simulations, fast."""
+    grid = _grid()
+    cache = CampaignCache(tmp_path / "cache")
+    cold = run_campaign(grid, jobs=1, cache=cache)
+    assert cold.executed == len(grid)
+
+    warm_start = time.perf_counter()
+    warm = run_once(benchmark, lambda: run_campaign(grid, jobs=1, cache=cache))
+    warm_elapsed = time.perf_counter() - warm_start
+
+    banner("campaign engine — warm cache")
+    print(f"cold: {cold.executed} simulated; warm: {warm.executed} simulated "
+          f"in {warm_elapsed * 1e3:.1f} ms")
+    assert warm.executed == 0
+    assert warm.cache_hits == len(grid)
+    assert warm.fingerprint() == cold.fingerprint()

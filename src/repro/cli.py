@@ -6,27 +6,34 @@ Subcommands mirror the paper's three simulations plus the parameter tables:
 * ``repro-muzha sweep --window 8`` — Figs 5.8–5.13 series;
 * ``repro-muzha cross --a newreno --b muzha`` — Simulation 3A coexistence;
 * ``repro-muzha dynamics --variant muzha`` — Simulation 3B staggered flows;
+* ``repro-muzha campaign --jobs 4`` — parallel cached scenario campaigns;
 * ``repro-muzha tables`` — Tables 5.1/5.2.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 from .core.drai import DRAI_TABLE, apply_drai
 from .experiments import (
     PAPER_VARIANTS,
+    CampaignCache,
     ScenarioConfig,
     SweepConfig,
     Table51Parameters,
     ascii_series,
+    chain_grid,
+    export_campaign_csv,
     fig_coexistence,
     fig_dynamics,
     format_coexistence,
     format_sweep,
     format_table,
+    run_campaign,
     run_chain,
     throughput_retransmit_sweep,
 )
@@ -106,6 +113,68 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    cache = None
+    if not args.no_cache:
+        cache = CampaignCache(args.cache_dir)
+        if args.clear_cache:
+            removed = cache.clear()
+            print(f"cache cleared: {removed} entries removed")
+    config = ScenarioConfig(
+        sim_time=args.time, routing=args.routing, window=args.window,
+        packet_error_rate=args.loss,
+    )
+    grid = chain_grid(args.variants, args.hops, config=config)
+    total_runs = len(grid) * args.replications
+
+    def report(record, done, total):
+        run = record.run
+        flag = "cache" if record.cached else "ran  "
+        print(
+            f"[{done:3d}/{total}] {flag} {run.spec.kind} h={run.spec.hops:<2d} "
+            f"{'+'.join(run.spec.variants):<10s} rep{run.replication} "
+            f"{record.result.total_goodput_kbps:8.1f} kbps",
+            flush=True,
+        )
+
+    print(
+        f"campaign: {len(grid)} scenarios x {args.replications} replications "
+        f"= {total_runs} runs, jobs={args.jobs}, "
+        f"cache={'off' if cache is None else args.cache_dir}"
+    )
+    started = time.time()
+    result = run_campaign(
+        grid,
+        replications=args.replications,
+        base_seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+        progress=report if not args.quiet else None,
+    )
+    elapsed = time.time() - started
+
+    rows = []
+    for spec in grid:
+        records = [r for r in result.records
+                   if r.run.spec.with_seed(0) == spec.with_seed(0)]
+        goodputs = [r.result.total_goodput_kbps for r in records]
+        rows.append(
+            [spec.hops, "+".join(spec.variants),
+             f"{sum(goodputs) / len(goodputs):8.1f}", len(goodputs)]
+        )
+    print()
+    print(format_table(["hops", "variants", "goodput (kbps)", "runs"], rows,
+                       title="campaign means"))
+    print(
+        f"\n{result.executed} simulated, {result.cache_hits} cache hits, "
+        f"{elapsed:.1f}s wall"
+    )
+    if args.csv:
+        path = export_campaign_csv(result, args.csv)
+        print(f"per-run metrics written to {path}")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     print(format_table(["Parameter", "Range"], Table51Parameters().rows(),
                        title="Table 5.1 — Simulation parameters"))
@@ -154,6 +223,32 @@ def build_parser() -> argparse.ArgumentParser:
     dynamics.add_argument("--variant", default="muzha")
     dynamics.add_argument("--hops", type=int, default=4)
     dynamics.set_defaults(func=_cmd_dynamics)
+
+    campaign = sub.add_parser(
+        "campaign", help="parallel cached batch of chain scenarios"
+    )
+    _add_common(campaign)
+    campaign.add_argument("--hops", type=int, nargs="+", default=[4, 8, 16],
+                          help="chain lengths in the grid")
+    campaign.add_argument("--variants", nargs="+", default=list(PAPER_VARIANTS),
+                          help="TCP variants in the grid")
+    campaign.add_argument("--replications", type=int, default=3,
+                          help="independent replications per scenario")
+    campaign.add_argument("--loss", type=float, default=0.0,
+                          help="per-frame random loss probability")
+    campaign.add_argument("--jobs", type=int, default=os.cpu_count(),
+                          help="worker processes (1 = in-process serial)")
+    campaign.add_argument("--cache-dir", default="results/cache",
+                          help="on-disk result cache location")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="always simulate; do not read or write the cache")
+    campaign.add_argument("--clear-cache", action="store_true",
+                          help="drop every cached result before running")
+    campaign.add_argument("--csv", default=None, metavar="PATH",
+                          help="also write per-run metrics to a CSV file")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress per-run progress lines")
+    campaign.set_defaults(func=_cmd_campaign)
 
     tables = sub.add_parser("tables", help="print Tables 5.1 and 5.2")
     tables.set_defaults(func=_cmd_tables)

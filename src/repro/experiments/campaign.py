@@ -1,0 +1,318 @@
+"""Parallel, cached experiment campaigns.
+
+The paper's evaluation is a grid — TCP variant × hop count × loss model ×
+replication — of mutually independent simulation runs.  This module turns
+that grid into a batch workload:
+
+* :func:`run_campaign` fans :class:`repro.experiments.runner.RunSpec` units
+  out over a ``multiprocessing`` worker pool (``jobs`` workers, default
+  ``os.cpu_count()``);
+* every run's master seed is derived from its ``(scenario, replication)``
+  key via :func:`repro.sim.rng.derive_run_seed`, so metrics are
+  bit-identical whatever the worker count or execution order;
+* completed runs are memoised in a :class:`CampaignCache` — an on-disk
+  content-addressed store keyed by the hash of the run's full configuration
+  plus the code schema version — so re-running a campaign only executes
+  scenarios whose parameters (or the simulator itself) changed.
+
+Determinism contract: ``run_campaign(grid)`` is a pure function of the grid
+and the campaign seed.  The property tests in
+``tests/props/test_campaign_determinism.py`` hold this module to it.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..sim.rng import derive_run_seed
+from .config import CACHE_SCHEMA_VERSION, ScenarioConfig, stable_digest
+from .runner import RunResult, RunSpec, execute_run
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Scenario identity and cache keys
+
+
+def scenario_key(spec: RunSpec) -> str:
+    """Stable identity of a scenario *shape*, independent of its seed.
+
+    Two specs that differ only in ``config.seed`` are the same scenario:
+    replications of it draw their seeds from this key, so adding a scenario
+    to a grid can never perturb another scenario's randomness.
+    """
+    payload = spec.to_dict()
+    payload["config"].pop("seed")
+    return stable_digest(payload)
+
+
+def run_digest(spec: RunSpec) -> str:
+    """Content-address of one fully-seeded run, including the code schema.
+
+    This is the cache key: it covers every parameter the simulation result
+    depends on, plus :data:`CACHE_SCHEMA_VERSION` so bumping that constant
+    invalidates all previously cached results at once.
+    """
+    return stable_digest(
+        {"schema": CACHE_SCHEMA_VERSION, "spec": spec.to_dict()}
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-disk content-addressed cache
+
+
+class CampaignCache:
+    """Content-addressed store of run results under a root directory.
+
+    Layout: ``<root>/<digest[:2]>/<digest>.json`` — one JSON document per
+    completed run.  Writes are atomic (tmp file + rename) so a campaign
+    killed mid-write never leaves a truncated entry behind.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``digest``, or None on a miss."""
+        path = self._path(digest)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A corrupt entry is a miss; the rerun will overwrite it.
+            return None
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Campaign plan and results
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """One schedulable unit: a seeded spec plus its identity/cache keys."""
+
+    index: int
+    scenario: str  # scenario_key(spec) — seed-independent identity
+    replication: int
+    seed: int
+    spec: RunSpec  # spec.config.seed == seed
+    digest: str  # run_digest(spec) — the cache key
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one campaign run."""
+
+    run: CampaignRun
+    metrics: Dict[str, Any]  # RunResult.to_dict() — canonical plain data
+    cached: bool
+
+    @property
+    def result(self) -> RunResult:
+        return RunResult.from_dict(self.metrics)
+
+    def metrics_bytes(self) -> bytes:
+        """Canonical byte serialization, for bit-identity comparisons."""
+        return json.dumps(
+            self.metrics, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+
+@dataclass
+class CampaignResult:
+    """All records of a campaign, in the order the grid listed them."""
+
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cached)
+
+    def results(self) -> List[RunResult]:
+        return [record.result for record in self.records]
+
+    def fingerprint(self) -> str:
+        """Digest of every run's metrics, keyed by (scenario, replication).
+
+        Keying by identity rather than grid position makes fingerprints of
+        reordered-but-equal campaigns compare equal — the determinism
+        property the tests assert.
+        """
+        payload = {
+            f"{r.run.scenario}:{r.run.replication}": r.metrics
+            for r in self.records
+        }
+        return stable_digest(payload)
+
+
+# ---------------------------------------------------------------------------
+# Grid construction helpers
+
+
+def chain_grid(
+    variants: Sequence[str],
+    hops_list: Sequence[int],
+    config: Optional[ScenarioConfig] = None,
+    record_dynamics: bool = False,
+) -> List[RunSpec]:
+    """The paper's staple grid: every (variant, hops) single-flow chain."""
+    config = config or ScenarioConfig()
+    return [
+        RunSpec(kind="chain", hops=hops, variants=(variant,), config=config,
+                record_dynamics=record_dynamics)
+        for variant in variants
+        for hops in hops_list
+    ]
+
+
+def plan_campaign(
+    grid: Sequence[RunSpec],
+    replications: int = 1,
+    base_seed: int = 1,
+) -> List[CampaignRun]:
+    """Expand a scenario grid into seeded, cache-addressed run units."""
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    runs: List[CampaignRun] = []
+    for spec in grid:
+        key = scenario_key(spec)
+        for replication in range(replications):
+            seed = derive_run_seed(base_seed, key, replication)
+            seeded = spec.with_seed(seed)
+            runs.append(
+                CampaignRun(
+                    index=len(runs),
+                    scenario=key,
+                    replication=replication,
+                    seed=seed,
+                    spec=seeded,
+                    digest=run_digest(seeded),
+                )
+            )
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# Execution
+
+
+def _execute_unit(args: Tuple[int, RunSpec]) -> Tuple[int, Dict[str, Any]]:
+    """Worker entry point: run one spec, return (index, canonical metrics)."""
+    index, spec = args
+    return index, execute_run(spec).to_dict()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork (where available) starts workers in milliseconds; results do not
+    # depend on the start method because every run re-derives its RNG state
+    # from the spec alone.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+ProgressFn = Callable[[RunRecord, int, int], None]
+
+
+def run_campaign(
+    grid: Sequence[RunSpec],
+    replications: int = 1,
+    base_seed: int = 1,
+    jobs: Optional[int] = None,
+    cache: Optional[CampaignCache] = None,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Run every ``(spec, replication)`` in ``grid``; return ordered records.
+
+    ``jobs`` is the worker-process count (default ``os.cpu_count()``;
+    ``1`` executes in-process with no pool).  ``cache`` enables the on-disk
+    memo: hits skip execution entirely, misses are written back after their
+    run completes.  ``progress`` is invoked once per finished run — from
+    the coordinating process, in completion order — with
+    ``(record, done_count, total_count)``.
+
+    The returned records are always in grid order, and their metrics are
+    byte-identical for any ``jobs`` value: seeds come from
+    :func:`plan_campaign`, never from scheduling.
+    """
+    runs = plan_campaign(grid, replications=replications, base_seed=base_seed)
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    records: Dict[int, RunRecord] = {}
+    done = 0
+
+    def finish(record: RunRecord) -> None:
+        nonlocal done
+        records[record.run.index] = record
+        done += 1
+        if progress is not None:
+            progress(record, done, len(runs))
+
+    pending: List[CampaignRun] = []
+    for run in runs:
+        payload = cache.get(run.digest) if cache is not None else None
+        if payload is not None:
+            finish(RunRecord(run=run, metrics=payload, cached=True))
+        else:
+            pending.append(run)
+
+    by_index = {run.index: run for run in pending}
+    if pending and jobs == 1:
+        for run in pending:
+            _, metrics = _execute_unit((run.index, run.spec))
+            if cache is not None:
+                cache.put(run.digest, metrics)
+            finish(RunRecord(run=run, metrics=metrics, cached=False))
+    elif pending:
+        ctx = _pool_context()
+        workers = min(jobs, len(pending))
+        with ctx.Pool(processes=workers) as pool:
+            work = [(run.index, run.spec) for run in pending]
+            for index, metrics in pool.imap_unordered(_execute_unit, work):
+                run = by_index[index]
+                if cache is not None:
+                    cache.put(run.digest, metrics)
+                finish(RunRecord(run=run, metrics=metrics, cached=False))
+
+    return CampaignResult(records=[records[i] for i in range(len(runs))])

@@ -3,9 +3,12 @@ switches the figure generators expose."""
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.drai import DraiParams
 from ..sim import units
@@ -13,6 +16,22 @@ from ..sim import units
 #: Environment variable: when set to "1", benchmarks run paper-scale
 #: configurations (30–50 s simulations, full hop sweeps, more seeds).
 FULL_ENV_VAR = "REPRO_FULL"
+
+#: Bump whenever a change to the simulator makes previously cached campaign
+#: results stale (the campaign cache folds this into every content hash).
+CACHE_SCHEMA_VERSION = 1
+
+
+def stable_digest(payload: Any) -> str:
+    """SHA-256 hex digest of ``payload`` rendered as canonical JSON.
+
+    The rendering is deterministic (sorted keys, no whitespace, exact float
+    repr) so equal configurations always hash equal across processes and
+    interpreter sessions — the property the content-addressed campaign
+    cache keys on.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def full_scale() -> bool:
@@ -58,6 +77,25 @@ class ScenarioConfig:
     packet_error_rate: float = 0.0
     #: Sampling period for throughput-dynamics series.
     sampler_interval: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe), suitable for hashing and pickling."""
+        payload = dataclasses.asdict(self)
+        if self.drai_params is not None:
+            payload["drai_params"] = dataclasses.asdict(self.drai_params)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioConfig":
+        data = dict(payload)
+        drai = data.get("drai_params")
+        if drai is not None:
+            data["drai_params"] = DraiParams(**drai)
+        return cls(**data)
+
+    def replace(self, **changes: Any) -> "ScenarioConfig":
+        """A copy with ``changes`` applied (config objects are shared)."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True)

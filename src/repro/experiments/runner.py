@@ -8,12 +8,20 @@ Three scenario shapes cover every figure in the paper:
   (Simulation 3A);
 * both return a :class:`RunResult` with per-flow goodput, retransmission
   counts, cwnd traces and optional throughput-dynamics series.
+
+For batch execution the same runs are described declaratively: a
+:class:`RunSpec` is a picklable value object naming the topology, flows and
+:class:`ScenarioConfig`, and :func:`execute_run` is the pure module-level
+function that turns one spec into a :class:`RunResult`.  The campaign engine
+ships ``RunSpec`` instances to ``multiprocessing`` workers and hashes them
+for its on-disk cache, so a spec must capture *everything* the run depends
+on and nothing else.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.drai import DraiEstimator, install_drai
 from ..phy.error_models import NoError, PacketErrorRate
@@ -40,6 +48,28 @@ class FlowResult:
     cwnd_trace: List[Tuple[float, float]]
     rate_series_kbps: List[Tuple[float, float]] = field(default_factory=list)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-data form (tuples become 2-item lists)."""
+        return {
+            "variant": self.variant,
+            "goodput_kbps": self.goodput_kbps,
+            "delivered_packets": self.delivered_packets,
+            "data_sent": self.data_sent,
+            "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+            "fast_retransmits": self.fast_retransmits,
+            "start_time": self.start_time,
+            "cwnd_trace": [[t, v] for t, v in self.cwnd_trace],
+            "rate_series_kbps": [[t, v] for t, v in self.rate_series_kbps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FlowResult":
+        data = dict(payload)
+        data["cwnd_trace"] = [(t, v) for t, v in data["cwnd_trace"]]
+        data["rate_series_kbps"] = [(t, v) for t, v in data["rate_series_kbps"]]
+        return cls(**data)
+
 
 @dataclass
 class RunResult:
@@ -58,6 +88,102 @@ class RunResult:
     def fairness(self) -> float:
         """Jain index over the flows' goodputs (Fig. 5.14)."""
         return jain_index([flow.goodput_kbps for flow in self.flows])
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-data form, stable across processes."""
+        return {
+            "flows": [flow.to_dict() for flow in self.flows],
+            "sim_time": self.sim_time,
+            "mac_drops": self.mac_drops,
+            "link_failures": self.link_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        return cls(
+            flows=[FlowResult.from_dict(f) for f in payload["flows"]],
+            sim_time=payload["sim_time"],
+            mac_drops=payload["mac_drops"],
+            link_failures=payload["link_failures"],
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative, picklable description of one scenario run.
+
+    ``kind`` selects the topology/flow shape: ``"chain"`` maps to
+    :func:`run_chain` (``variants[i]`` starts at ``starts[i]``), ``"cross"``
+    maps to :func:`run_cross` (exactly two variants: horizontal, vertical).
+    The embedded config's ``seed`` fully determines the run's randomness.
+    """
+
+    kind: str
+    hops: int
+    variants: Tuple[str, ...]
+    starts: Optional[Tuple[float, ...]] = None
+    record_dynamics: bool = False
+    config: ScenarioConfig = field(default_factory=ScenarioConfig)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("chain", "cross"):
+            raise ValueError(f"unknown run kind {self.kind!r}")
+        if self.kind == "cross" and len(self.variants) != 2:
+            raise ValueError("cross runs take exactly two variants")
+        object.__setattr__(self, "variants", tuple(self.variants))
+        if self.starts is not None:
+            object.__setattr__(self, "starts", tuple(self.starts))
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """A copy whose config carries ``seed`` (specs are immutable)."""
+        from dataclasses import replace
+
+        return replace(self, config=self.config.replace(seed=seed))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe plain-data form — the campaign cache hashes this."""
+        return {
+            "kind": self.kind,
+            "hops": self.hops,
+            "variants": list(self.variants),
+            "starts": list(self.starts) if self.starts is not None else None,
+            "record_dynamics": self.record_dynamics,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunSpec":
+        data = dict(payload)
+        data["variants"] = tuple(data["variants"])
+        if data.get("starts") is not None:
+            data["starts"] = tuple(data["starts"])
+        data["config"] = ScenarioConfig.from_dict(data["config"])
+        return cls(**data)
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Execute one :class:`RunSpec` — a pure function of the spec.
+
+    Module-level and argument-picklable by design: this is the unit of work
+    campaign worker processes receive.
+    """
+    if spec.kind == "chain":
+        return run_chain(
+            spec.hops,
+            list(spec.variants),
+            config=spec.config,
+            starts=list(spec.starts) if spec.starts is not None else None,
+            record_dynamics=spec.record_dynamics,
+        )
+    if spec.kind == "cross":
+        return run_cross(
+            spec.hops,
+            spec.variants[0],
+            spec.variants[1],
+            config=spec.config,
+            record_dynamics=spec.record_dynamics,
+        )
+    raise ValueError(f"unknown run kind {spec.kind!r}")  # pragma: no cover
 
 
 def _needs_drai(variants: Sequence[str]) -> bool:

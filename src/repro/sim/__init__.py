@@ -5,7 +5,7 @@ Provides the scheduler, events, timers, seeded RNG streams, tracing, and the
 """
 
 from .event import Event
-from .rng import RngRegistry, derive_seed
+from .rng import RngRegistry, derive_run_seed, derive_seed
 from .scheduler import EventScheduler, SchedulerError
 from .simulator import Simulator
 from .timer import PeriodicTimer, Timer
@@ -23,6 +23,7 @@ __all__ = [
     "TraceBus",
     "TraceRecord",
     "TraceRecorder",
+    "derive_run_seed",
     "derive_seed",
     "units",
 ]

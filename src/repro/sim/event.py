@@ -19,7 +19,9 @@ class Event:
     callback objects.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "name")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args", "cancelled", "fired", "name"
+    )
 
     def __init__(
         self,
@@ -36,6 +38,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
         self.name = name
 
     def cancel(self) -> None:
@@ -44,8 +47,8 @@ class Event:
 
     @property
     def active(self) -> bool:
-        """Whether the event is still pending (not cancelled)."""
-        return not self.cancelled
+        """Whether the event is still pending (not cancelled, not fired)."""
+        return not self.cancelled and not self.fired
 
     def _sort_key(self) -> Tuple[float, int, int]:
         return (self.time, self.priority, self.seq)

@@ -21,6 +21,20 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def derive_run_seed(master_seed: int, scenario_key: str, replication: int) -> int:
+    """Master seed for one ``(scenario, replication)`` campaign run.
+
+    Campaign engines fan a scenario grid out over worker processes; each
+    run's seed must depend only on the campaign seed, the scenario's
+    identity and the replication index — never on worker count, execution
+    order, or which other scenarios share the grid — so results are
+    bit-identical however the campaign is scheduled.
+    """
+    if replication < 0:
+        raise ValueError(f"replication must be non-negative, got {replication}")
+    return derive_seed(master_seed, f"campaign:{scenario_key}:rep{replication}")
+
+
 class RngRegistry:
     """Factory for independent named :class:`random.Random` streams."""
 

@@ -96,8 +96,13 @@ class EventScheduler:
         )
 
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel ``event`` if it is still pending.  ``None`` is a no-op."""
-        if event is not None and not event.cancelled:
+        """Cancel ``event`` if it is still pending.  ``None`` is a no-op.
+
+        Cancelling an event that already fired (including the event whose
+        callback is currently executing) is a no-op too — it left the
+        pending set when it ran.
+        """
+        if event is not None and event.active:
             event.cancel()
             self._pending -= 1
 
@@ -110,6 +115,9 @@ class EventScheduler:
             if event.cancelled:
                 continue
             self._pending -= 1
+            # Mark before invoking: a callback that cancels *itself* must be
+            # a no-op, not a second decrement of the pending count.
+            event.fired = True
             self._now = event.time
             self._processed += 1
             event.callback(*event.args)
@@ -127,7 +135,10 @@ class EventScheduler:
         ``max_events`` have executed.
 
         ``until`` is inclusive of events scheduled exactly at that time; on
-        return the clock is advanced to ``until`` if it was supplied.
+        return the clock is advanced to ``until`` if it was supplied — but
+        only once every live event at or before ``until`` has executed, so a
+        run truncated by ``max_events`` (or :meth:`stop`) never jumps the
+        clock past work that is still queued.
         """
         if self._running:
             raise SchedulerError("scheduler is already running (re-entrant run())")
@@ -146,7 +157,9 @@ class EventScheduler:
                 self.step()
                 executed += 1
             if until is not None and self._now < until and not self._stopped:
-                self._now = until
+                next_time = self.peek_time()
+                if next_time is None or next_time > until:
+                    self._now = until
         finally:
             self._running = False
 

@@ -1,0 +1,121 @@
+"""Determinism properties of the campaign engine.
+
+The reproduction's credibility rests on one contract: a campaign's metrics
+are a pure function of (grid, base seed).  Worker count, scenario order,
+and the cache must all be invisible in the results — these tests compare
+canonical byte serializations, not approximate floats.
+
+The simulations here are deliberately tiny (2–3 hop chains, 1.5 s) so the
+whole module stays fast while still exercising the multiprocessing pool.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import (
+    CampaignCache,
+    RunSpec,
+    ScenarioConfig,
+    chain_grid,
+    plan_campaign,
+    run_campaign,
+    run_digest,
+    scenario_key,
+)
+from repro.sim import derive_run_seed
+
+
+def small_grid():
+    config = ScenarioConfig(sim_time=1.5, window=4)
+    return chain_grid(["muzha", "newreno"], [2, 3], config=config)
+
+
+def by_identity(result):
+    """Map (scenario, replication) -> canonical metric bytes."""
+    return {
+        (r.run.scenario, r.run.replication): r.metrics_bytes()
+        for r in result.records
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_campaign(small_grid(), replications=2, jobs=1)
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_worker_count_is_invisible_in_the_metrics(serial_result, jobs):
+    parallel = run_campaign(small_grid(), replications=2, jobs=jobs)
+    assert by_identity(parallel) == by_identity(serial_result)
+    assert parallel.fingerprint() == serial_result.fingerprint()
+
+
+def test_scenario_order_is_invisible_in_the_metrics(serial_result):
+    shuffled = small_grid()
+    random.Random(99).shuffle(shuffled)
+    result = run_campaign(shuffled, replications=2, jobs=2)
+    assert by_identity(result) == by_identity(serial_result)
+    assert result.fingerprint() == serial_result.fingerprint()
+
+
+def test_records_come_back_in_grid_order():
+    grid = small_grid()
+    result = run_campaign(grid, replications=2, jobs=2)
+    expected = [(scenario_key(spec), rep) for spec in grid for rep in (0, 1)]
+    assert [(r.run.scenario, r.run.replication) for r in result.records] == expected
+
+
+def test_cache_hits_reproduce_the_cold_run_exactly(tmp_path, serial_result):
+    cache = CampaignCache(tmp_path / "cache")
+    cold = run_campaign(small_grid(), replications=2, jobs=2, cache=cache)
+    assert cold.executed == len(cold.records)
+    assert by_identity(cold) == by_identity(serial_result)
+
+    warm = run_campaign(small_grid(), replications=2, jobs=2, cache=cache)
+    assert warm.executed == 0
+    assert warm.cache_hits == len(warm.records)
+    assert by_identity(warm) == by_identity(cold)
+    # The reconstructed result objects are equal too, not just the bytes.
+    assert [r.to_dict() for r in warm.results()] == [
+        r.to_dict() for r in cold.results()
+    ]
+
+
+def test_cache_is_keyed_by_content_not_by_grid(tmp_path):
+    """Changing any run-relevant parameter must be a cache miss."""
+    cache = CampaignCache(tmp_path / "cache")
+    base = ScenarioConfig(sim_time=1.5, window=4)
+    grid = chain_grid(["muzha"], [2], config=base)
+    run_campaign(grid, jobs=1, cache=cache)
+
+    longer = chain_grid(["muzha"], [2], config=base.replace(sim_time=2.0))
+    again = run_campaign(longer, jobs=1, cache=cache)
+    assert again.executed == 1  # different sim_time -> different digest
+
+
+def test_replications_draw_independent_seeds():
+    runs = plan_campaign(small_grid(), replications=3, base_seed=1)
+    seeds = [r.seed for r in runs]
+    assert len(set(seeds)) == len(seeds)
+    # and they follow the documented derivation exactly
+    for run in runs:
+        assert run.seed == derive_run_seed(1, run.scenario, run.replication)
+
+
+def test_scenario_key_ignores_seed_but_digest_tracks_it():
+    config = ScenarioConfig(sim_time=1.5, window=4)
+    spec = RunSpec(kind="chain", hops=2, variants=("muzha",), config=config)
+    assert scenario_key(spec) == scenario_key(spec.with_seed(42))
+    assert run_digest(spec) != run_digest(spec.with_seed(42))
+
+
+def test_adding_a_scenario_does_not_perturb_existing_ones(serial_result):
+    """Grid composition must not leak into per-run seeds or metrics."""
+    extended = small_grid() + chain_grid(
+        ["vegas"], [2], config=ScenarioConfig(sim_time=1.5, window=4)
+    )
+    result = run_campaign(extended, replications=2, jobs=2)
+    extended_map = by_identity(result)
+    for key, blob in by_identity(serial_result).items():
+        assert extended_map[key] == blob

@@ -7,7 +7,7 @@ from repro.cli import build_parser, main
 
 def test_parser_builds_and_knows_all_subcommands():
     parser = build_parser()
-    for command in ("chain", "sweep", "cross", "dynamics", "tables"):
+    for command in ("chain", "sweep", "cross", "dynamics", "campaign", "tables"):
         args = parser.parse_args([command] if command == "tables" else [command])
         assert args.command == command
 
@@ -52,6 +52,51 @@ def test_dynamics_command(capsys):
     assert main(["dynamics", "--hops", "2", "--time", "25", "--variant", "newreno"]) == 0
     out = capsys.readouterr().out
     assert "final shares" in out
+
+
+def test_campaign_command_cold_then_warm(tmp_path, capsys):
+    argv = [
+        "campaign", "--hops", "2", "--variants", "muzha", "newreno",
+        "--replications", "1", "--time", "2", "--jobs", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--csv", str(tmp_path / "campaign.csv"),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2 simulated, 0 cache hits" in out
+    assert "campaign means" in out
+    assert (tmp_path / "campaign.csv").exists()
+
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "0 simulated, 2 cache hits" in out
+    assert "cache" in out
+
+
+def test_campaign_command_no_cache_always_simulates(tmp_path, capsys):
+    argv = [
+        "campaign", "--hops", "2", "--variants", "muzha",
+        "--replications", "1", "--time", "2", "--jobs", "1",
+        "--no-cache", "--quiet",
+    ]
+    assert main(argv) == 0
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "1 simulated, 0 cache hits" in out
+
+
+def test_campaign_command_clear_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = [
+        "campaign", "--hops", "2", "--variants", "muzha",
+        "--replications", "1", "--time", "2", "--jobs", "1",
+        "--cache-dir", cache_dir, "--quiet",
+    ]
+    assert main(argv) == 0
+    assert main(argv + ["--clear-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cache cleared: 1 entries removed" in out
+    assert "1 simulated, 0 cache hits" in out
 
 
 def test_unknown_command_exits():

@@ -4,16 +4,19 @@ import pytest
 
 from repro.experiments import (
     PAPER_VARIANTS,
+    RunSpec,
     ScenarioConfig,
     SweepConfig,
     Table51Parameters,
     ascii_series,
+    execute_run,
     fig_cwnd_traces,
     format_coexistence,
     format_sweep,
     format_table,
     run_chain,
     run_cross,
+    stable_digest,
 )
 from repro.experiments.figures import (
     CoexistencePoint,
@@ -40,6 +43,49 @@ class TestConfig:
         assert max(full.hops) == 32
         assert len(full.seeds) >= len(quick.seeds)
         assert full.sim_time >= quick.sim_time
+
+
+class TestRunSpec:
+    def test_rejects_unknown_kind_and_bad_cross_arity(self):
+        with pytest.raises(ValueError, match="unknown run kind"):
+            RunSpec(kind="mesh", hops=2, variants=("muzha",))
+        with pytest.raises(ValueError, match="exactly two"):
+            RunSpec(kind="cross", hops=2, variants=("muzha",))
+
+    def test_dict_round_trip(self):
+        spec = RunSpec(
+            kind="chain", hops=3, variants=("muzha", "newreno"),
+            starts=(0.0, 1.0), record_dynamics=True,
+            config=ScenarioConfig(sim_time=2.0, window=4, seed=7),
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        # the dict form is canonical-JSON hashable
+        assert stable_digest(spec.to_dict()) == stable_digest(spec.to_dict())
+
+    def test_with_seed_changes_only_the_seed(self):
+        spec = RunSpec(kind="chain", hops=2, variants=("muzha",))
+        reseeded = spec.with_seed(99)
+        assert reseeded.config.seed == 99
+        assert reseeded.config.replace(seed=spec.config.seed) == spec.config
+
+    def test_execute_run_matches_run_chain(self):
+        config = ScenarioConfig(sim_time=2.0, seed=3, window=4)
+        spec = RunSpec(kind="chain", hops=2, variants=("newreno",), config=config)
+        via_spec = execute_run(spec)
+        direct = run_chain(2, ["newreno"], config=config)
+        assert via_spec.to_dict() == direct.to_dict()
+
+    def test_execute_run_cross_and_result_round_trip(self):
+        from repro.experiments import RunResult
+
+        config = ScenarioConfig(sim_time=2.0, seed=1, window=4)
+        spec = RunSpec(kind="cross", hops=2, variants=("muzha", "newreno"),
+                       config=config)
+        result = execute_run(spec)
+        assert len(result.flows) == 2
+        rebuilt = RunResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.total_goodput_kbps == result.total_goodput_kbps
 
 
 class TestRunners:

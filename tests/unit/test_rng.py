@@ -1,6 +1,8 @@
 """Unit tests for seeded RNG streams."""
 
-from repro.sim import RngRegistry, Simulator, derive_seed
+import pytest
+
+from repro.sim import RngRegistry, Simulator, derive_run_seed, derive_seed
 
 
 def test_same_master_same_stream_is_reproducible():
@@ -32,6 +34,20 @@ def test_derive_seed_is_deterministic_and_nonnegative():
     assert derive_seed(42, "abc") == derive_seed(42, "abc")
     assert derive_seed(42, "abc") != derive_seed(42, "abd")
     assert derive_seed(42, "abc") >= 0
+
+
+def test_derive_run_seed_depends_on_all_key_parts():
+    base = derive_run_seed(1, "scenario-a", 0)
+    assert base == derive_run_seed(1, "scenario-a", 0)
+    assert base != derive_run_seed(2, "scenario-a", 0)
+    assert base != derive_run_seed(1, "scenario-b", 0)
+    assert base != derive_run_seed(1, "scenario-a", 1)
+    assert base >= 0
+
+
+def test_derive_run_seed_rejects_negative_replication():
+    with pytest.raises(ValueError):
+        derive_run_seed(1, "scenario", -1)
 
 
 def test_simulator_exposes_streams():

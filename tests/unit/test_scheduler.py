@@ -153,6 +153,111 @@ def test_processed_event_count():
     assert sched.processed_events == 5
 
 
+def test_cancelled_event_at_exact_until_boundary_is_skipped():
+    """A lazily-deleted event sitting exactly at ``until`` must not fire,
+    must not block the clock, and must leave the pending count clean."""
+    sched = EventScheduler()
+    fired = []
+    doomed = sched.schedule(2.0, fired.append, "doomed")
+    sched.schedule(2.0, fired.append, "live")
+    sched.cancel(doomed)
+    sched.run(until=2.0)
+    assert fired == ["live"]
+    assert sched.now == 2.0
+    assert sched.pending_events == 0
+
+
+def test_only_cancelled_events_at_until_boundary_still_advance_clock():
+    sched = EventScheduler()
+    doomed = sched.schedule(2.0, lambda: None)
+    sched.cancel(doomed)
+    sched.run(until=2.0)
+    assert sched.now == 2.0
+    assert sched.pending_events == 0
+
+
+def test_callback_cancels_simultaneous_event():
+    """Cancelling a same-timestamp event from inside a callback must keep
+    it from firing even though it is already ordered for this instant."""
+    sched = EventScheduler()
+    fired = []
+    later = sched.schedule(1.0, fired.append, "later")
+
+    def first():
+        fired.append("first")
+        sched.cancel(later)
+
+    sched.schedule(1.0, first, priority=-1)
+    sched.run()
+    assert fired == ["first"]
+    assert sched.pending_events == 0
+
+
+def test_callback_cancelling_its_own_event_keeps_pending_consistent():
+    """Self-cancellation must be a no-op: the firing event already left
+    the pending set, so the count cannot go negative."""
+    sched = EventScheduler()
+    holder = {}
+
+    def self_cancel():
+        sched.cancel(holder["event"])
+
+    holder["event"] = sched.schedule(1.0, self_cancel)
+    survivor = sched.schedule(2.0, lambda: None)
+    sched.run()
+    assert sched.pending_events == 0
+    assert not survivor.active
+
+
+def test_fired_event_is_not_active_and_cancel_after_fire_is_noop():
+    sched = EventScheduler()
+    event = sched.schedule(1.0, lambda: None)
+    assert event.active
+    sched.run()
+    assert event.fired and not event.active
+    sched.cancel(event)
+    assert sched.pending_events == 0
+
+
+def test_truncated_run_does_not_jump_clock_past_queued_events():
+    """``run(until=..., max_events=...)`` stopping early must leave the
+    clock where it is: advancing to ``until`` would make the remaining
+    (earlier) events run with the clock moving backwards."""
+    sched = EventScheduler()
+    fired = []
+    for i in range(1, 6):
+        sched.schedule(float(i), fired.append, i)
+    sched.run(until=5.0, max_events=2)
+    assert fired == [1, 2]
+    assert sched.now == 2.0  # not 5.0: events at 3/4/5 are still queued
+    observed = []
+    sched.schedule(2.5, lambda: observed.append(sched.now))
+    sched.run()
+    assert fired == [1, 2, 3, 4, 5]
+    assert observed == [2.5]
+    assert sched.now == 5.0
+
+
+def test_clock_never_moves_backwards_across_truncated_runs():
+    sched = EventScheduler()
+    times = []
+    for i in range(1, 8):
+        sched.schedule(float(i), lambda: times.append(sched.now))
+    while sched.pending_events:
+        sched.run(until=7.0, max_events=2)
+    assert times == sorted(times)
+    assert sched.now == 7.0
+
+
+def test_truncated_run_with_no_remaining_events_still_advances_to_until():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, 1)
+    sched.run(until=3.0, max_events=5)
+    assert fired == [1]
+    assert sched.now == 3.0
+
+
 def test_reentrant_run_raises():
     sched = EventScheduler()
 
