@@ -1,37 +1,159 @@
 """Microbenchmarks of the simulation substrate itself.
 
-Not a paper figure — these track the cost of the hot paths (event loop,
-MAC exchange, full-stack packet delivery) so substrate regressions are
-visible next to the figure campaigns.
+Not a paper figure — these track the cost of the hot paths so substrate
+regressions are visible next to the figure campaigns.  Four metrics:
+
+* ``scheduler_events_per_sec`` — schedule-and-run cost of plain timer events;
+* ``scheduler_churn_ops_per_sec`` — the MAC backoff pattern
+  (schedule -> cancel -> reschedule), which exercises lazy deletion and the
+  event freelist;
+* ``channel_fanout_tx_per_sec`` — per-transmission fan-out cost on an 8-radio
+  chain (Signal construction + 2 events per carrier-sense neighbour);
+* ``full_chain_packets_per_sec`` — end-to-end packets/sec of the standard
+  4-hop, 10 s Muzha run.
+
+Two entry points:
+
+* ``python benchmarks/bench_kernel.py`` — runs the suite, prints a table,
+  writes ``results/BENCH_kernel.json`` (current numbers next to the committed
+  before/after baseline), and with ``--check`` exits non-zero on a >30%
+  events/sec regression against the committed post-overhaul baseline;
+* ``pytest benchmarks/bench_kernel.py`` — the same measurements as
+  pytest-benchmark cases, marked ``perf`` and excluded from the tier-1 run.
 """
 
 from __future__ import annotations
 
-from repro.experiments import ScenarioConfig, run_chain
-from repro.sim import EventScheduler
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+import pytest
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "bench_kernel_baseline.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "results" / "BENCH_kernel.json"
+
+pytestmark = pytest.mark.perf
+
+
+# -- measurement cores (shared by pytest and the standalone runner) ----------
+
+
+def run_scheduler_throughput(n: int = 50_000) -> int:
+    """Schedule-and-run ``n`` timer events; returns the fired count."""
+    from repro.sim import EventScheduler
+
+    sched = EventScheduler()
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+
+    for i in range(n):
+        sched.schedule(i * 1e-5, tick)
+    sched.run()
+    return counter[0]
+
+
+def run_scheduler_churn(n: int = 20_000) -> int:
+    """The MAC backoff pattern: schedule -> cancel -> reschedule, n times.
+
+    Returns the number of scheduler operations performed (3 per round).
+    """
+    from repro.sim import EventScheduler
+
+    sched = EventScheduler()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    t = 0.0
+    for _ in range(n):
+        doomed = sched.schedule(t + 1.0, tick)
+        sched.cancel(doomed)
+        sched.schedule(t + 1e-5, tick)
+        sched.run(max_events=1)
+        t = sched.now
+    assert fired[0] == n
+    return 3 * n
+
+
+def run_channel_fanout(n_tx: int = 2_000) -> int:
+    """Fan ``n_tx`` frames out from the middle of an 8-radio chain."""
+    from repro.phy import Position, WirelessChannel
+    from repro.phy.radio import Radio
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=1)
+    channel = WirelessChannel(sim)
+    radios = [Radio(sim, i) for i in range(8)]
+    for i, radio in enumerate(radios):
+        channel.register(radio, Position(200.0 * i, 0.0))
+
+    class Frame:
+        size_bytes = 1000
+
+    frame = Frame()
+    for _ in range(n_tx):
+        channel.transmit(radios[3], frame, 1e-4)
+        sim.run(until=sim.now + 1e-3)
+    return n_tx
+
+
+def run_full_chain() -> int:
+    """The standard 4-hop, 10 s Muzha experiment; returns delivered packets."""
+    from repro.experiments import ScenarioConfig, run_chain
+
+    result = run_chain(4, ["muzha"], config=ScenarioConfig(sim_time=10.0, seed=1))
+    return result.flows[0].delivered_packets
+
+
+def _rate(work: Callable[[], int], reps: int) -> float:
+    """Best observed ops/sec over ``reps`` repetitions."""
+    best = 0.0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        ops = work()
+        dt = time.perf_counter() - t0
+        best = max(best, ops / dt)
+    return best
+
+
+def measure_all(fast: bool = False) -> Dict[str, float]:
+    """Run the whole suite; returns metric-name -> ops/sec."""
+    reps = 2 if fast else 5
+    return {
+        "scheduler_events_per_sec": _rate(run_scheduler_throughput, reps),
+        "scheduler_churn_ops_per_sec": _rate(run_scheduler_churn, reps),
+        "channel_fanout_tx_per_sec": _rate(run_channel_fanout, max(2, reps - 2)),
+        "full_chain_packets_per_sec": _rate(run_full_chain, 1 if fast else 2),
+    }
+
+
+# -- pytest-benchmark cases --------------------------------------------------
 
 
 def test_scheduler_event_throughput(benchmark):
-    """Schedule-and-run cost of 10k timer events."""
+    """Schedule-and-run cost of 50k timer events."""
+    assert benchmark(run_scheduler_throughput) == 50_000
 
-    def campaign():
-        sched = EventScheduler()
-        counter = [0]
 
-        def tick():
-            counter[0] += 1
+def test_scheduler_churn(benchmark):
+    """Lazy-deletion + freelist cost of the MAC backoff pattern."""
+    assert benchmark.pedantic(run_scheduler_churn, rounds=3, iterations=1) == 60_000
 
-        for i in range(10_000):
-            sched.schedule(i * 1e-4, tick)
-        sched.run()
-        return counter[0]
 
-    assert benchmark(campaign) == 10_000
+def test_channel_fanout(benchmark):
+    """Per-transmission fan-out cost on an 8-radio chain."""
+    assert benchmark.pedantic(run_channel_fanout, rounds=3, iterations=1) == 2_000
 
 
 def test_mac_exchange_rate(benchmark):
     """Saturated one-hop 802.11 exchange rate (RTS/CTS/DATA/ACK each)."""
-    from repro.mac.dcf import QueuedPacket
     from repro.routing import install_static_routing
     from repro.topology import build_chain
     from repro.traffic import start_ftp
@@ -49,10 +171,87 @@ def test_mac_exchange_rate(benchmark):
 
 def test_full_stack_chain_run(benchmark):
     """End-to-end cost of a standard 4-hop, 10 s Muzha experiment."""
-
-    def campaign():
-        result = run_chain(4, ["muzha"], config=ScenarioConfig(sim_time=10.0, seed=1))
-        return result.flows[0].delivered_packets
-
-    delivered = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    delivered = benchmark.pedantic(run_full_chain, rounds=1, iterations=1)
     assert delivered > 100
+
+
+# -- standalone runner -------------------------------------------------------
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def build_report(current: Dict[str, float], baseline: dict) -> dict:
+    """Current numbers alongside the committed before/after baseline."""
+    metrics = {}
+    for name, rate in current.items():
+        entry = {"current": round(rate, 1)}
+        committed = baseline.get("metrics", {}).get(name)
+        if committed:
+            entry["baseline_pre"] = committed["pre"]
+            entry["baseline_post"] = committed["post"]
+            entry["speedup_vs_pre"] = round(rate / committed["pre"], 2)
+            entry["ratio_vs_post"] = round(rate / committed["post"], 2)
+        metrics[name] = entry
+    return {
+        "suite": "bench_kernel",
+        "baseline_machine": baseline.get("machine", "unknown"),
+        "metrics": metrics,
+    }
+
+
+def check_regression(report: dict, tolerance: float) -> list:
+    """Metric names whose events/sec dropped >``tolerance`` vs committed post."""
+    failures = []
+    for name, entry in report["metrics"].items():
+        ratio = entry.get("ratio_vs_post")
+        if ratio is not None and ratio < 1.0 - tolerance:
+            failures.append(name)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="kernel microbenchmark suite")
+    parser.add_argument("--json", default=str(DEFAULT_OUTPUT), metavar="PATH",
+                        help="where to write BENCH_kernel.json")
+    parser.add_argument("--fast", action="store_true",
+                        help="fewer repetitions (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on events/sec regression vs the baseline")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression with --check")
+    args = parser.parse_args(argv)
+
+    current = measure_all(fast=args.fast)
+    report = build_report(current, load_baseline())
+
+    width = max(len(name) for name in report["metrics"])
+    for name, entry in report["metrics"].items():
+        line = f"{name:<{width}}  {entry['current']:>12,.0f}/s"
+        if "speedup_vs_pre" in entry:
+            line += (f"  ({entry['speedup_vs_pre']:.2f}x vs pre-overhaul, "
+                     f"{entry['ratio_vs_post']:.2f}x vs committed)")
+        print(line)
+
+    out = Path(args.json)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nreport written to {out}")
+
+    if args.check:
+        failures = check_regression(report, args.tolerance)
+        if failures:
+            print(f"PERF REGRESSION (> {args.tolerance:.0%} below committed "
+                  f"baseline): {', '.join(failures)}", file=sys.stderr)
+            return 1
+        print(f"perf check ok (all metrics within {args.tolerance:.0%} "
+              "of the committed baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

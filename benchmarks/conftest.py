@@ -17,6 +17,18 @@ from typing import Dict
 
 import pytest
 
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ as ``perf``.
+
+    The tier-1 run (``pytest -x -q``) only collects ``tests/`` via
+    ``testpaths``, so benchmarks never slow it down; the marker additionally
+    lets explicit benchmark invocations filter with ``-m "not perf"`` or
+    ``-m perf``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.perf)
+
 from repro.experiments import SweepConfig, SweepResult, throughput_retransmit_sweep
 
 _SWEEP_CACHE: Dict[int, SweepResult] = {}

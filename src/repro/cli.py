@@ -7,6 +7,7 @@ Subcommands mirror the paper's three simulations plus the parameter tables:
 * ``repro-muzha cross --a newreno --b muzha`` — Simulation 3A coexistence;
 * ``repro-muzha dynamics --variant muzha`` — Simulation 3B staggered flows;
 * ``repro-muzha campaign --jobs 4`` — parallel cached scenario campaigns;
+* ``repro-muzha profile chain`` — cProfile a scenario's simulator hot spots;
 * ``repro-muzha tables`` — Tables 5.1/5.2.
 """
 
@@ -175,6 +176,46 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    config = ScenarioConfig(
+        sim_time=args.time, seed=args.seed, window=args.window, routing=args.routing,
+    )
+
+    def chain_scenario():
+        return run_chain(args.hops, [args.variant], config=config)
+
+    def cross_scenario():
+        return fig_coexistence(
+            "newreno", args.variant, hops_list=(args.hops,), sim_time=args.time,
+            seeds=(args.seed,), window=args.window,
+        )
+
+    def dynamics_scenario():
+        return fig_dynamics(
+            args.variant, hops=args.hops, starts=(0.0, 10.0, 20.0),
+            sim_time=args.time, seed=args.seed, window=args.window,
+        )
+
+    scenarios = {
+        "chain": chain_scenario, "cross": cross_scenario, "dynamics": dynamics_scenario,
+    }
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenarios[args.scenario]()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"profile data written to {args.out} "
+              f"(inspect with `python -m pstats {args.out}`)")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     print(format_table(["Parameter", "Range"], Table51Parameters().rows(),
                        title="Table 5.1 — Simulation parameters"))
@@ -249,6 +290,23 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-run progress lines")
     campaign.set_defaults(func=_cmd_campaign)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile a scenario to find simulator hot spots"
+    )
+    _add_common(profile)
+    profile.add_argument("scenario", choices=("chain", "cross", "dynamics"),
+                         help="which scenario shape to profile")
+    profile.add_argument("--hops", type=int, default=4)
+    profile.add_argument("--variant", choices=sorted(PAPER_VARIANTS) + ["tahoe", "reno"],
+                         default="muzha")
+    profile.add_argument("--sort", choices=("tottime", "cumulative", "ncalls"),
+                         default="tottime", help="stat ordering for the report")
+    profile.add_argument("--limit", type=int, default=25,
+                         help="number of rows to print")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="also dump raw pstats data to PATH")
+    profile.set_defaults(func=_cmd_profile)
 
     tables = sub.add_parser("tables", help="print Tables 5.1 and 5.2")
     tables.set_defaults(func=_cmd_tables)

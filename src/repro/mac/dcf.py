@@ -205,9 +205,16 @@ class DcfMac:
         if self.nav.set(until):
             self.sim.cancel(self._nav_event)
             self._nav_event = self.sim.at(
-                until, self._reevaluate_medium, name="mac.nav_end"
+                until, self._on_nav_end, name="mac.nav_end"
             )
             self._reevaluate_medium()
+
+    def _on_nav_end(self) -> None:
+        # Drop the handle before re-evaluating: the scheduler recycles fired
+        # events, so keeping (and later cancelling) a dead reference could
+        # hit an unrelated reissued event.
+        self._nav_event = None
+        self._reevaluate_medium()
 
     # -- backoff countdown ---------------------------------------------------------
 
@@ -307,6 +314,14 @@ class DcfMac:
 
     def _send_frame(self, frame: MacFrame) -> None:
         tx_time = self._tx_time(frame)
+        # Gate before building the field dict: an unsubscribed run must not
+        # pay for trace-field construction on the per-frame hot path.
+        if self.sim.trace.wants("mac.tx"):
+            self.sim.emit(
+                "mac", "mac.tx",
+                kind=frame.kind.name, src=frame.src, dst=frame.dst,
+                size_bytes=frame.size_bytes,
+            )
         if frame.kind is FrameKind.RTS:
             self.counters.rts_tx += 1
             self._state = DcfState.WAIT_CTS

@@ -8,11 +8,21 @@ for random loss.
 
 Neighbour sets are cached; topologies in the paper are static, but the cache
 is invalidated automatically when radios are added or moved.
+
+Hot path: :meth:`transmit` is called once per MAC frame (RTS/CTS/DATA/ACK),
+and fans out two scheduler events per carrier-sense neighbour.  The fan-out
+list per source is precomputed — bound ``signal_start``/``signal_end``
+methods, propagation delay and rx power per neighbour — so the per-frame
+work is one :class:`Signal` object and two direct ``scheduler.schedule``
+calls per neighbour, with the frame-size lookup hoisted out of the per-signal
+departure path.  Sense-only neighbours (inside carrier-sense but outside
+decode range) never consult the error model, and a ``NoError`` medium skips
+the departure trampoline entirely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim import units
 from ..sim.simulator import Simulator
@@ -21,6 +31,12 @@ from .frame_timing import PhyParams
 from .position import Position
 from .propagation import DiskPropagation
 from .radio import Radio, Signal
+
+#: One precomputed fan-out entry:
+#: (signal_start, signal_end, receivable, prop_delay, rx_power).
+FanoutEntry = Tuple[
+    Callable[[Signal], None], Callable[[Signal, bool], None], bool, float, float
+]
 
 
 class WirelessChannel:
@@ -42,6 +58,9 @@ class WirelessChannel:
         self._neighbors: Optional[
             Dict[Radio, List[Tuple[Radio, bool, float, float]]]
         ] = None
+        # Derived caches, invalidated together with ``_neighbors``.
+        self._fanout: Optional[Dict[Radio, List[FanoutEntry]]] = None
+        self._rx_neighbors: Optional[Dict[Radio, List[Radio]]] = None
         self._error_rng = sim.stream("phy.error")
         #: Total number of frame transmissions started on this channel.
         self.transmissions = 0
@@ -51,14 +70,19 @@ class WirelessChannel:
     def register(self, radio: Radio, position: Position) -> None:
         """Attach ``radio`` to the channel at ``position``."""
         self._positions[radio] = position
-        self._neighbors = None
+        self._invalidate()
 
     def move(self, radio: Radio, position: Position) -> None:
         """Relocate ``radio`` (invalidates the neighbour cache)."""
         if radio not in self._positions:
             raise KeyError(f"radio {radio.node_id} is not on this channel")
         self._positions[radio] = position
+        self._invalidate()
+
+    def _invalidate(self) -> None:
         self._neighbors = None
+        self._fanout = None
+        self._rx_neighbors = None
 
     def position_of(self, radio: Radio) -> Position:
         return self._positions[radio]
@@ -85,13 +109,29 @@ class WirelessChannel:
             self._neighbors = table
         return self._neighbors
 
+    def _fanout_map(self) -> Dict[Radio, List[FanoutEntry]]:
+        if self._fanout is None:
+            self._fanout = {
+                src: [
+                    (dst.signal_start, dst.signal_end, receivable, delay, power)
+                    for dst, receivable, delay, power in entries
+                ]
+                for src, entries in self._neighbor_map().items()
+            }
+        return self._fanout
+
     def neighbors_of(self, radio: Radio) -> List[Radio]:
-        """Radios within decode range of ``radio`` (static disk model)."""
-        return [
-            peer
-            for peer, receivable, _, _ in self._neighbor_map()[radio]
-            if receivable
-        ]
+        """Radios within decode range of ``radio`` (static disk model).
+
+        The list is cached per radio until the topology changes; treat it as
+        read-only.
+        """
+        if self._rx_neighbors is None:
+            self._rx_neighbors = {
+                src: [dst for dst, receivable, _, _ in entries if receivable]
+                for src, entries in self._neighbor_map().items()
+            }
+        return self._rx_neighbors[radio]
 
     # -- transmission -------------------------------------------------------------
 
@@ -103,24 +143,49 @@ class WirelessChannel:
         """
         self.transmissions += 1
         src.begin_transmit(duration)
-        self.sim.after(duration, src.end_transmit, name="phy.tx_end")
-        for dst, receivable, delay, power in self._neighbor_map()[src]:
-            signal = Signal(
-                frame, receivable, self.sim.now + delay + duration, power=power
+        fanout = self._fanout_map()[src]
+        sched = self.sim.scheduler
+        schedule = sched.schedule
+        now = sched.now
+        schedule(now + duration, src.end_transmit, name="phy.tx_end")
+        if self.sim.trace.wants("phy.tx"):
+            self.sim.emit(
+                "phy", "phy.tx", src=src.node_id, duration=duration,
+                neighbors=len(fanout),
             )
-            self.sim.after(delay, self._arrive, dst, signal, name="phy.sig_start")
-            self.sim.after(
-                delay + duration, self._depart, dst, signal, name="phy.sig_end"
-            )
+        nbytes = getattr(frame, "size_bytes", 0)
+        no_error = type(self.error_model) is NoError
+        # Timestamp arithmetic must group exactly as the historical
+        # per-neighbour code did — float addition is not associative, and a
+        # 1-ULP shift here reorders events and breaks golden-trace replay:
+        # arrival at now + delay, departure at now + (delay + duration),
+        # signal end marker at (now + delay) + duration.
+        for sig_start, sig_end, receivable, delay, power in fanout:
+            t_start = now + delay
+            signal = Signal(frame, receivable, t_start + duration, power=power)
+            schedule(t_start, sig_start, signal, name="phy.sig_start")
+            if receivable and not no_error:
+                schedule(
+                    now + (delay + duration), self._depart, sig_end, signal,
+                    nbytes, name="phy.sig_end",
+                )
+            else:
+                # Sense-only neighbours and a perfect medium never consult
+                # the error model; deliver the end-of-signal directly.
+                schedule(
+                    now + (delay + duration), sig_end, signal, False,
+                    name="phy.sig_end",
+                )
 
-    def _arrive(self, dst: Radio, signal: Signal) -> None:
-        dst.signal_start(signal)
-
-    def _depart(self, dst: Radio, signal: Signal) -> None:
+    def _depart(
+        self,
+        sig_end: Callable[[Signal, bool], None],
+        signal: Signal,
+        nbytes: int,
+    ) -> None:
         corrupted_by_medium = False
-        if signal.receivable and not signal.corrupted:
-            nbytes = getattr(signal.frame, "size_bytes", 0)
+        if not signal.corrupted:
             corrupted_by_medium = self.error_model.frame_corrupted(
                 self._error_rng, nbytes, self.sim.now
             )
-        dst.signal_end(signal, corrupted_by_medium)
+        sig_end(signal, corrupted_by_medium)

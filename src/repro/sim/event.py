@@ -3,6 +3,20 @@
 An :class:`Event` is a scheduled callback.  Handles support O(1) cancellation
 (the scheduler lazily discards cancelled entries when they surface at the top
 of the heap), which the MAC layer relies on heavily to pause backoff timers.
+
+Heap ordering lives in the scheduler, not here: the scheduler stores
+``(time, priority, seq, event)`` tuples so heap comparisons resolve on the
+first three scalar fields at C speed and never reach the event object
+(``seq`` is unique, so ties cannot fall through to the unorderable
+callbacks).  ``__lt__`` is kept only for explicitly sorting event lists in
+diagnostics and tests.
+
+Recycling contract: once an event has fired or been cancelled *and* the
+scheduler has observed it leave the heap, the scheduler may reuse the object
+for a future ``schedule()`` call (see ``EventScheduler``'s freelist).  Code
+that holds an :class:`Event` reference must drop it after the event fires or
+after cancelling it — calling ``cancel()`` again on a long-dead handle could
+otherwise hit a recycled, unrelated event.
 """
 
 from __future__ import annotations
@@ -15,8 +29,7 @@ class Event:
 
     Events are ordered by ``(time, priority, seq)``.  ``seq`` is a strictly
     increasing insertion counter that makes ordering deterministic for
-    simultaneous events and keeps heap comparisons away from the (unorderable)
-    callback objects.
+    simultaneous events.
     """
 
     __slots__ = (
@@ -50,11 +63,12 @@ class Event:
         """Whether the event is still pending (not cancelled, not fired)."""
         return not self.cancelled and not self.fired
 
-    def _sort_key(self) -> Tuple[float, int, int]:
-        return (self.time, self.priority, self.seq)
-
     def __lt__(self, other: "Event") -> bool:
-        return self._sort_key() < other._sort_key()
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or getattr(self.callback, "__name__", "callback")

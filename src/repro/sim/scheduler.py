@@ -6,14 +6,27 @@ cancelled events.  Determinism guarantees:
 
 * events at equal timestamps run in (priority, insertion) order;
 * the clock never moves backwards — scheduling into the past raises.
+
+Hot-path layout: the heap holds ``(time, priority, seq, event)`` tuples, so
+``heapq`` sift comparisons resolve on the scalar prefix at C speed instead of
+calling back into Python (``seq`` is unique; comparisons never reach the
+event object).  ``run()`` drives the heap directly in one tight loop rather
+than composing :meth:`peek_time` + :meth:`step`, and retired event objects
+(fired, or cancelled and popped) go on a bounded freelist so steady-state
+schedule→cancel→reschedule churn — the MAC backoff pattern — allocates
+nothing.  See the recycling contract in :mod:`repro.sim.event`.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from .event import Event
+
+#: Upper bound on recycled Event objects kept for reuse.  Peak live events in
+#: a run is what matters for hit rate; beyond this the allocator is fine.
+_FREELIST_MAX = 4096
 
 
 class SchedulerError(RuntimeError):
@@ -32,6 +45,7 @@ class EventScheduler:
 
     def __init__(self) -> None:
         self._heap: list = []
+        self._free: list = []
         self._now = 0.0
         self._seq = 0
         self._pending = 0
@@ -69,14 +83,28 @@ class EventScheduler:
         """Schedule ``callback(*args)`` at absolute simulation ``time``.
 
         Returns the :class:`Event`, whose ``cancel()`` removes it (lazily).
+        The returned object may be a recycled instance; drop the reference
+        once the event fires or is cancelled.
         """
         if time < self._now:
             raise SchedulerError(
                 f"cannot schedule event at {time:.9f}, now is {self._now:.9f}"
             )
-        self._seq += 1
-        event = Event(time, self._seq, callback, args, priority=priority, name=name)
-        heapq.heappush(self._heap, event)
+        self._seq = seq = self._seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.fired = False
+            event.name = name
+        else:
+            event = Event(time, seq, callback, args, priority=priority, name=name)
+        heappush(self._heap, (time, priority, seq, event))
         self._pending += 1
         return event
 
@@ -102,33 +130,53 @@ class EventScheduler:
         callback is currently executing) is a no-op too — it left the
         pending set when it ran.
         """
-        if event is not None and event.active:
-            event.cancel()
+        if event is not None and not event.cancelled and not event.fired:
+            event.cancelled = True
             self._pending -= 1
+
+    def _recycle(self, event: Event) -> None:
+        """Park a retired event for reuse, dropping its payload references.
+
+        ``fired``/``cancelled``/``time``/``name`` are deliberately left in
+        place so a holder that inspects a retired handle still sees its
+        terminal state; everything is reset when the object is reissued.
+        """
+        event.callback = None  # type: ignore[assignment]
+        event.args = ()
+        if len(self._free) < _FREELIST_MAX:
+            self._free.append(event)
 
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Run the single next live event.  Returns False if queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, _, event = heappop(heap)
             if event.cancelled:
+                self._recycle(event)
                 continue
             self._pending -= 1
             # Mark before invoking: a callback that cancels *itself* must be
             # a no-op, not a second decrement of the pending count.
             event.fired = True
-            self._now = event.time
+            self._now = time
             self._processed += 1
             event.callback(*event.args)
+            self._recycle(event)
             return True
         return False
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head[3].cancelled:
+                return head[0]
+            heappop(heap)
+            self._recycle(head[3])
+        return None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -144,17 +192,29 @@ class EventScheduler:
             raise SchedulerError("scheduler is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        pop = heappop
         try:
             executed = 0
-            while not self._stopped:
+            while heap and not self._stopped:
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
+                head = heap[0]
+                event = head[3]
+                if event.cancelled:
+                    pop(heap)
+                    self._recycle(event)
+                    continue
+                time = head[0]
+                if until is not None and time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                pop(heap)
+                self._pending -= 1
+                event.fired = True
+                self._now = time
+                self._processed += 1
+                event.callback(*event.args)
+                self._recycle(event)
                 executed += 1
             if until is not None and self._now < until and not self._stopped:
                 next_time = self.peek_time()

@@ -4,6 +4,13 @@ Layers publish structured trace records (``(time, source, event, fields)``)
 to a :class:`TraceBus`; collectors subscribe by event name.  Tracing is
 opt-in per event name so the hot path pays one dict lookup when nothing is
 subscribed.
+
+Hot-path discipline: instrumented layers must gate on :meth:`TraceBus.wants`
+(or check :attr:`TraceBus.active` first when even the event-name string is
+costly to build) *before* assembling trace fields, so an unsubscribed run
+never constructs the field dict.  ``Simulator.emit`` gates again internally,
+but the keyword arguments it receives are built by the caller — gating only
+there is too late.
 """
 
 from __future__ import annotations
@@ -30,6 +37,12 @@ class TraceBus:
 
     def __init__(self) -> None:
         self._subscribers: Dict[str, List[TraceCallback]] = {}
+        self._wants_all = False
+
+    @property
+    def active(self) -> bool:
+        """True if any subscriber exists at all (cheapest possible gate)."""
+        return bool(self._subscribers)
 
     def subscribe(self, event: str, callback: TraceCallback) -> None:
         """Invoke ``callback`` for every record whose event name matches.
@@ -37,17 +50,20 @@ class TraceBus:
         Subscribe to ``"*"`` to receive everything.
         """
         self._subscribers.setdefault(event, []).append(callback)
+        if event == "*":
+            self._wants_all = True
 
     def wants(self, event: str) -> bool:
         """True if anything is subscribed to ``event`` (or to everything)."""
-        return event in self._subscribers or "*" in self._subscribers
+        return self._wants_all or event in self._subscribers
 
     def emit(self, record: TraceRecord) -> None:
         """Deliver ``record`` to all matching subscribers."""
         for callback in self._subscribers.get(record.event, ()):
             callback(record)
-        for callback in self._subscribers.get("*", ()):
-            callback(record)
+        if self._wants_all:
+            for callback in self._subscribers.get("*", ()):
+                callback(record)
 
 
 class TraceRecorder:

@@ -10,6 +10,23 @@ def test_parser_builds_and_knows_all_subcommands():
     for command in ("chain", "sweep", "cross", "dynamics", "campaign", "tables"):
         args = parser.parse_args([command] if command == "tables" else [command])
         assert args.command == command
+    assert parser.parse_args(["profile", "chain"]).command == "profile"
+
+
+def test_profile_command_reports_hot_spots(tmp_path, capsys):
+    out_path = tmp_path / "chain.prof"
+    assert main([
+        "profile", "chain", "--hops", "2", "--time", "2",
+        "--limit", "5", "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "function calls" in out
+    assert "scheduler" in out  # the run loop must show up in the top rows
+    assert out_path.exists()
+    import pstats
+
+    stats = pstats.Stats(str(out_path))
+    assert stats.total_calls > 0
 
 
 def test_tables_command(capsys):

@@ -1,0 +1,62 @@
+"""Golden event-order regression tests for the kernel hot paths.
+
+The tuple-heap scheduler must preserve the exact (time, priority, insertion)
+event ordering the previous Event.__lt__ heap produced: these tests pin the
+MAC-level frame sequence of a 3-hop RTS/CTS exchange so any kernel change
+that perturbs event order (timestamp arithmetic, heap discipline, fan-out
+scheduling order) fails loudly and locally, long before the golden-figure
+CSVs drift.
+"""
+
+from __future__ import annotations
+
+from repro.routing import install_static_routing
+from repro.sim.trace import TraceRecorder
+from repro.topology import build_chain
+from repro.traffic import start_ftp
+
+
+def _mac_tx_sequence(until: float):
+    net = build_chain(3, seed=42)
+    install_static_routing(net.nodes, net.channel)
+    recorder = TraceRecorder(net.sim.trace, "mac.tx")
+    start_ftp(net.sim, net.nodes[0], net.nodes[3], variant="newreno", window=4)
+    net.sim.run(until=until)
+    return [(r.fields["kind"], r.fields["src"], r.fields["dst"]) for r in recorder]
+
+
+# First TCP segment crossing the 3-hop chain, then the TCP ACK returning:
+# each hop is a full RTS/CTS/DATA/ACK exchange, strictly in hop order.
+GOLDEN_FIRST_SEGMENT = [
+    ("RTS", 0, 1), ("CTS", 1, 0), ("DATA", 0, 1), ("ACK", 1, 0),
+    ("RTS", 1, 2), ("CTS", 2, 1), ("DATA", 1, 2), ("ACK", 2, 1),
+    ("RTS", 2, 3), ("CTS", 3, 2), ("DATA", 2, 3), ("ACK", 3, 2),
+    # TCP ACK travelling back 3 -> 0
+    ("RTS", 3, 2), ("CTS", 2, 3), ("DATA", 3, 2), ("ACK", 2, 3),
+    ("RTS", 2, 1), ("CTS", 1, 2), ("DATA", 2, 1), ("ACK", 1, 2),
+    ("RTS", 1, 0), ("CTS", 0, 1), ("DATA", 1, 0), ("ACK", 0, 1),
+]
+
+
+def test_three_hop_rts_cts_golden_order():
+    sequence = _mac_tx_sequence(until=0.08)
+    assert sequence[: len(GOLDEN_FIRST_SEGMENT)] == GOLDEN_FIRST_SEGMENT
+    # The full 80 ms window is pinned too: 61 frames on this seed.
+    assert len(sequence) == 61
+
+
+def test_three_hop_sequence_is_reproducible():
+    assert _mac_tx_sequence(until=0.08) == _mac_tx_sequence(until=0.08)
+
+
+def test_every_unicast_data_is_preceded_by_its_rts_cts_handshake():
+    sequence = _mac_tx_sequence(until=0.08)
+    handshakes = set()
+    for kind, src, dst in sequence:
+        if kind == "RTS":
+            handshakes.add((src, dst))
+        elif kind == "CTS":
+            assert (dst, src) in handshakes
+        elif kind == "DATA":
+            assert (src, dst) in handshakes
+            handshakes.discard((src, dst))

@@ -258,6 +258,123 @@ def test_truncated_run_with_no_remaining_events_still_advances_to_until():
     assert sched.now == 3.0
 
 
+def test_pending_count_across_schedule_cancel_peek_run():
+    """peek_time()'s lazy pop of cancelled events must not disturb the
+    pending/processed counters at any point in the sequence."""
+    sched = EventScheduler()
+    doomed = sched.schedule(1.0, lambda: None)
+    live = sched.schedule(2.0, lambda: None)
+    assert sched.pending_events == 2
+    sched.cancel(doomed)
+    assert sched.pending_events == 1  # decremented at cancel time...
+    assert sched.peek_time() == 2.0
+    assert sched.pending_events == 1  # ...not again at the lazy pop
+    assert sched.processed_events == 0
+    sched.run()
+    assert sched.pending_events == 0
+    assert sched.processed_events == 1
+    assert live.fired
+
+
+def test_peek_after_cancelling_everything_is_empty_and_consistent():
+    sched = EventScheduler()
+    events = [sched.schedule(float(i + 1), lambda: None) for i in range(5)]
+    for event in events:
+        sched.cancel(event)
+    assert sched.pending_events == 0
+    assert sched.peek_time() is None
+    sched.run()
+    assert sched.pending_events == 0
+    assert sched.processed_events == 0
+
+
+def test_interleaved_cancel_peek_run_chain():
+    """Repeated schedule -> cancel -> peek -> run(max_events=1) rounds (the
+    MAC backoff shape) keep both counters exact."""
+    sched = EventScheduler()
+    fired = []
+    for i in range(10):
+        doomed = sched.schedule(sched.now + 1.0, fired.append, -1)
+        sched.cancel(doomed)
+        sched.schedule(sched.now + 0.1, fired.append, i)
+        assert sched.peek_time() == pytest.approx(sched.now + 0.1)
+        assert sched.pending_events == 1
+        sched.run(max_events=1)
+        assert sched.pending_events == 0
+        assert sched.processed_events == i + 1
+    assert fired == list(range(10))
+
+
+def test_cancel_between_peek_and_run_skips_event():
+    sched = EventScheduler()
+    fired = []
+    doomed = sched.schedule(1.0, fired.append, "doomed")
+    assert sched.peek_time() == 1.0
+    sched.cancel(doomed)
+    assert sched.peek_time() is None
+    sched.run()
+    assert fired == []
+    assert sched.pending_events == 0
+
+
+def test_freelist_reuses_retired_event_objects():
+    """Cancelled-and-surfaced and fired events are recycled into later
+    schedules; the reissued handle starts a fresh lifecycle."""
+    sched = EventScheduler()
+    doomed = sched.schedule(1.0, lambda: None)
+    sched.cancel(doomed)
+    sched.run()  # surfaces the cancelled event -> freelist
+    fresh = sched.schedule(2.0, lambda: None)
+    assert fresh is doomed  # recycled object...
+    assert fresh.active  # ...with reset state
+    assert not fresh.fired
+    sched.run()
+    assert fresh.fired
+
+
+def test_recycled_handle_preserves_terminal_state_until_reissue():
+    """A holder inspecting a retired handle still sees fired/cancelled."""
+    sched = EventScheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.run()
+    assert event.fired and not event.active
+    cancelled = sched.schedule(2.0, lambda: None)
+    # the freelist reissued the fired object; the old handle is the new event
+    sched.cancel(cancelled)
+    sched.run()
+    assert cancelled.cancelled and not cancelled.active
+    assert sched.pending_events == 0
+
+
+def test_freelist_reuse_does_not_leak_callbacks_or_args():
+    sched = EventScheduler()
+    payload = object()
+    event = sched.schedule(1.0, lambda x: None, payload)
+    sched.run()
+    # retired events drop payload references so the freelist cannot pin them
+    assert event.callback is None
+    assert event.args == ()
+
+
+def test_equal_time_priority_and_insertion_order_with_churn():
+    """Tuple-heap ordering: equal-time events fire in (priority, insertion)
+    order even when recycled event objects are interleaved."""
+    sched = EventScheduler()
+    # retire a few events first so later schedules draw from the freelist
+    for _ in range(3):
+        victim = sched.schedule(0.5, lambda: None)
+        sched.cancel(victim)
+    sched.run(until=0.6)
+    order = []
+    sched.schedule(1.0, order.append, "c", priority=1)
+    sched.schedule(1.0, order.append, "a", priority=-1)
+    sched.schedule(1.0, order.append, "d", priority=1)
+    sched.schedule(1.0, order.append, "b", priority=-1)
+    sched.schedule(1.0, order.append, "e")
+    sched.run()
+    assert order == ["a", "b", "e", "c", "d"]
+
+
 def test_reentrant_run_raises():
     sched = EventScheduler()
 

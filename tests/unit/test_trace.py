@@ -41,6 +41,46 @@ def test_recorder_collects_matching_records():
     assert [r.time for r in rec] == [1.0, 3.0]
 
 
+def test_active_is_the_cheapest_gate():
+    bus = TraceBus()
+    assert not bus.active
+    bus.subscribe("x", lambda r: None)
+    assert bus.active
+
+
+def test_hot_path_layers_gate_field_construction_on_wants():
+    """The MAC and channel must not build trace-field dicts (or emit at all)
+    on an unsubscribed run, and must publish once subscribed."""
+    from repro.routing import install_static_routing
+    from repro.topology import build_chain
+    from repro.traffic import start_ftp
+
+    # Unsubscribed: sim.emit must never even be reached — call sites gate on
+    # wants() *before* building the keyword-field dict.
+    net = build_chain(1, seed=3)
+    install_static_routing(net.nodes, net.channel)
+    start_ftp(net.sim, net.nodes[0], net.nodes[1], variant="newreno", window=2)
+
+    def bomb(source, event, **fields):
+        raise AssertionError(f"ungated trace emit: {source}/{event}")
+
+    net.sim.emit = bomb
+    net.sim.run(until=0.05)
+
+    # Subscribed: the same scenario publishes gated mac.tx/phy.tx records.
+    net2 = build_chain(1, seed=3)
+    install_static_routing(net2.nodes, net2.channel)
+    mac_rec = TraceRecorder(net2.sim.trace, "mac.tx")
+    phy_rec = TraceRecorder(net2.sim.trace, "phy.tx")
+    start_ftp(net2.sim, net2.nodes[0], net2.nodes[1], variant="newreno", window=2)
+    net2.sim.run(until=0.05)
+    assert len(mac_rec) > 0
+    assert len(phy_rec) == len(mac_rec)  # one phy.tx per mac frame
+    first = mac_rec.records[0]
+    assert first.fields["kind"] == "RTS"
+    assert set(first.fields) == {"kind", "src", "dst", "size_bytes"}
+
+
 def test_simulator_emit_skips_when_no_subscriber():
     sim = Simulator(seed=1)
     sim.emit("src", "nobody-listens", value=1)  # must not raise
