@@ -15,7 +15,7 @@ Quickstart::
     print(result.flows[0].goodput_kbps)
 """
 
-from . import core, experiments, mac, net, phy, routing, sim, stats, topology, traffic, transport
+from . import core, experiments, mac, net, obs, phy, routing, sim, stats, topology, traffic, transport
 
 __version__ = "1.0.0"
 
@@ -23,6 +23,7 @@ __all__ = [
     "core",
     "experiments",
     "mac",
+    "obs",
     "net",
     "phy",
     "routing",

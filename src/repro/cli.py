@@ -7,6 +7,10 @@ Subcommands mirror the paper's three simulations plus the parameter tables:
 * ``repro-muzha cross --a newreno --b muzha`` — Simulation 3A coexistence;
 * ``repro-muzha dynamics --variant muzha`` — Simulation 3B staggered flows;
 * ``repro-muzha campaign --jobs 4`` — parallel cached scenario campaigns;
+* ``repro-muzha trace chain --out run.ndjson`` — traced run: NDJSON/CSV
+  event trace + provenance manifest (+ optional flight-recorder dumps);
+* ``repro-muzha stats chain`` — metrics snapshot of a run (rollup tables
+  or the full JSON document);
 * ``repro-muzha profile chain`` — cProfile a scenario's simulator hot spots;
 * ``repro-muzha tables`` — Tables 5.1/5.2.
 """
@@ -14,6 +18,7 @@ Subcommands mirror the paper's three simulations plus the parameter tables:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -36,8 +41,10 @@ from .experiments import (
     format_table,
     run_campaign,
     run_chain,
+    run_cross,
     throughput_retransmit_sweep,
 )
+from .obs import CsvTraceSink, FlightRecorder, NdjsonTraceSink, attach_run_probe
 from .stats import jain_index, resample
 
 
@@ -176,6 +183,82 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario(args: argparse.Namespace, instrument=None):
+    """Run the ``trace``/``stats`` scenario shape with an optional hook."""
+    config = ScenarioConfig(
+        sim_time=args.time, seed=args.seed, window=args.window,
+        routing=args.routing,
+    )
+    if args.scenario == "chain":
+        return run_chain(args.hops, [args.variant], config=config,
+                         instrument=instrument)
+    return run_cross(args.hops, args.variant, args.b, config=config,
+                     instrument=instrument)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    sink_cls = CsvTraceSink if args.format == "csv" else NdjsonTraceSink
+    events = tuple(args.events) if args.events else ("*",)
+    sink = sink_cls(args.out, events=events)
+    flight_holder = []
+
+    def instrument(network, flows):
+        sink.attach(network.sim.trace)
+        if args.flight_dir:
+            flight_holder.append(
+                FlightRecorder(network.sim.trace, dump_dir=args.flight_dir)
+            )
+        if args.probe_interval > 0:
+            attach_run_probe(network, flows, interval=args.probe_interval)
+
+    with sink:
+        result = _run_scenario(args, instrument)
+    for recorder in flight_holder:
+        recorder.detach()
+
+    manifest_path = f"{args.out}.manifest.json"
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(result.manifest, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+    print(f"{sink.records_written} trace records written to {args.out}")
+    for event in sorted(sink.counts):
+        print(f"  {event:<18s} {sink.counts[event]}")
+    print(f"manifest written to {manifest_path}")
+    if flight_holder:
+        dumps = flight_holder[0].dumps
+        print(f"{len(dumps)} anomaly dump(s) in {args.flight_dir}")
+        for dump in dumps:
+            print(f"  {dump.rule} node {dump.node} at t={dump.time:.3f}s "
+                  f"({dump.records} records) -> {dump.path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    result = _run_scenario(args)
+    snapshot = result.metrics
+    if args.json:
+        json.dump(snapshot, sys.stdout, sort_keys=True, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    rollups = snapshot["rollups"]
+    rows = [[name, value] for name, value in rollups["global"].items()]
+    print(format_table(["metric", "total"], rows, title="global counters"))
+    names = sorted({n for by in rollups["per_node"].values() for n in by})
+    if args.per_node and names:
+        print()
+        header = ["node"] + names
+        node_rows = [
+            [node] + [by.get(name, 0) for name in names]
+            for node, by in rollups["per_node"].items()
+        ]
+        print(format_table(header, node_rows, title="per-node counters"))
+    print()
+    print(f"total goodput: {result.total_goodput_kbps:.1f} kbps; "
+          f"manifest config digest {result.manifest['config_digest'][:12]}…")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
@@ -290,6 +373,45 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-run progress lines")
     campaign.set_defaults(func=_cmd_campaign)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("scenario", choices=("chain", "cross"),
+                       help="which scenario shape to run")
+        p.add_argument("--hops", type=int, default=4)
+        p.add_argument("--variant",
+                       choices=sorted(PAPER_VARIANTS) + ["tahoe", "reno"],
+                       default="muzha",
+                       help="flow variant (horizontal flow for cross)")
+        p.add_argument("--b", default="newreno",
+                       help="vertical flow variant (cross only)")
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario with trace sinks + provenance manifest"
+    )
+    _add_common(trace)
+    add_scenario_args(trace)
+    trace.add_argument("--out", default="trace.ndjson", metavar="PATH",
+                       help="trace output file")
+    trace.add_argument("--format", choices=("ndjson", "csv"), default="ndjson",
+                       help="trace file format")
+    trace.add_argument("--events", nargs="+", default=None, metavar="EVENT",
+                       help="only record these event names (default: all)")
+    trace.add_argument("--flight-dir", default=None, metavar="DIR",
+                       help="arm the flight recorder; anomaly dumps go here")
+    trace.add_argument("--probe-interval", type=float, default=0.5,
+                       help="time-series probe period, seconds (0 disables)")
+    trace.set_defaults(func=_cmd_trace)
+
+    stats_p = sub.add_parser(
+        "stats", help="run a scenario and print its metrics snapshot"
+    )
+    _add_common(stats_p)
+    add_scenario_args(stats_p)
+    stats_p.add_argument("--json", action="store_true",
+                         help="dump the full snapshot as JSON")
+    stats_p.add_argument("--per-node", action="store_true",
+                         help="also print the per-node rollup table")
+    stats_p.set_defaults(func=_cmd_stats)
 
     profile = sub.add_parser(
         "profile", help="cProfile a scenario to find simulator hot spots"

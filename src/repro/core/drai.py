@@ -224,6 +224,7 @@ class DraiEstimator:
     def install(self) -> "DraiEstimator":
         """Attach to the node's stamper chain and start sampling."""
         self.node.stampers.append(self.stamp)
+        self.node.drai = self
         self._timer.start(first_delay=self.params.sample_interval)
         return self
 
@@ -250,6 +251,15 @@ class DraiEstimator:
             effective_queue = max(effective_queue, instant)
         self.drai = self._compute(effective_queue, self.utilization, self.occupancy)
         self.level_counts[self.drai] += 1
+        # Gate before building the field dict (sim.trace discipline).
+        trace = self.sim.trace
+        if trace.active and trace.wants("drai.sample"):
+            self.sim.emit(
+                f"drai.{self.node.node_id}", "drai.sample",
+                node=self.node.node_id, level=self.drai,
+                queue=effective_queue, util=self.utilization,
+                occ=self.occupancy,
+            )
 
     def _compute(self, queue_len: float, utilization: float, occupancy: float) -> int:
         return compute_drai(queue_len, utilization, occupancy, self.params)

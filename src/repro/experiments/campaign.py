@@ -135,15 +135,24 @@ class CampaignRun:
 
 @dataclass
 class RunRecord:
-    """Outcome of one campaign run."""
+    """Outcome of one campaign run.
+
+    ``metrics`` is the run's canonical plain data and the sole input to
+    fingerprints; ``manifest`` is the run's provenance document (wall time,
+    platform, spec, result digest) — attached for attribution, excluded from
+    every determinism comparison by construction.
+    """
 
     run: CampaignRun
     metrics: Dict[str, Any]  # RunResult.to_dict() — canonical plain data
     cached: bool
+    manifest: Optional[Dict[str, Any]] = None
 
     @property
     def result(self) -> RunResult:
-        return RunResult.from_dict(self.metrics)
+        res = RunResult.from_dict(self.metrics)
+        res.manifest = self.manifest
+        return res
 
     def metrics_bytes(self) -> bytes:
         """Canonical byte serialization, for bit-identity comparisons."""
@@ -234,10 +243,13 @@ def plan_campaign(
 # Execution
 
 
-def _execute_unit(args: Tuple[int, RunSpec]) -> Tuple[int, Dict[str, Any]]:
-    """Worker entry point: run one spec, return (index, canonical metrics)."""
+def _execute_unit(
+    args: Tuple[int, RunSpec]
+) -> Tuple[int, Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Worker entry point: run one spec, return (index, metrics, manifest)."""
     index, spec = args
-    return index, execute_run(spec).to_dict()
+    result = execute_run(spec)
+    return index, result.to_dict(), result.manifest
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -293,26 +305,34 @@ def run_campaign(
     for run in runs:
         payload = cache.get(run.digest) if cache is not None else None
         if payload is not None:
-            finish(RunRecord(run=run, metrics=payload, cached=True))
+            # v2 entries are {"result": ..., "manifest": ...} envelopes;
+            # tolerate bare-result payloads for robustness.
+            metrics = payload.get("result", payload)
+            finish(RunRecord(run=run, metrics=metrics, cached=True,
+                             manifest=payload.get("manifest")))
         else:
             pending.append(run)
+
+    def store(run: CampaignRun, metrics: Dict[str, Any],
+              manifest: Optional[Dict[str, Any]]) -> None:
+        if cache is not None:
+            cache.put(run.digest, {"result": metrics, "manifest": manifest})
+        finish(RunRecord(run=run, metrics=metrics, cached=False,
+                         manifest=manifest))
 
     by_index = {run.index: run for run in pending}
     if pending and jobs == 1:
         for run in pending:
-            _, metrics = _execute_unit((run.index, run.spec))
-            if cache is not None:
-                cache.put(run.digest, metrics)
-            finish(RunRecord(run=run, metrics=metrics, cached=False))
+            _, metrics, manifest = _execute_unit((run.index, run.spec))
+            store(run, metrics, manifest)
     elif pending:
         ctx = _pool_context()
         workers = min(jobs, len(pending))
         with ctx.Pool(processes=workers) as pool:
             work = [(run.index, run.spec) for run in pending]
-            for index, metrics in pool.imap_unordered(_execute_unit, work):
-                run = by_index[index]
-                if cache is not None:
-                    cache.put(run.digest, metrics)
-                finish(RunRecord(run=run, metrics=metrics, cached=False))
+            for index, metrics, manifest in pool.imap_unordered(
+                _execute_unit, work
+            ):
+                store(by_index[index], metrics, manifest)
 
     return CampaignResult(records=[records[i] for i in range(len(runs))])

@@ -4,13 +4,14 @@ switches the figure generators expose."""
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.drai import DraiParams
+# Canonical home of the content digest is the provenance module (manifests
+# and the campaign cache must agree on it); re-exported here for callers.
+from ..obs.provenance import stable_digest  # noqa: F401
 from ..sim import units
 
 #: Environment variable: when set to "1", benchmarks run paper-scale
@@ -19,19 +20,8 @@ FULL_ENV_VAR = "REPRO_FULL"
 
 #: Bump whenever a change to the simulator makes previously cached campaign
 #: results stale (the campaign cache folds this into every content hash).
-CACHE_SCHEMA_VERSION = 1
-
-
-def stable_digest(payload: Any) -> str:
-    """SHA-256 hex digest of ``payload`` rendered as canonical JSON.
-
-    The rendering is deterministic (sorted keys, no whitespace, exact float
-    repr) so equal configurations always hash equal across processes and
-    interpreter sessions — the property the content-addressed campaign
-    cache keys on.
-    """
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+#: v2: cache entries became ``{"result": ..., "manifest": ...}`` envelopes.
+CACHE_SCHEMA_VERSION = 2
 
 
 def full_scale() -> bool:

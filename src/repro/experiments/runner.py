@@ -20,10 +20,13 @@ on and nothing else.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.drai import DraiEstimator, install_drai
+from ..obs.metrics import collect_network_metrics
+from ..obs.provenance import attach_spec, build_manifest, stable_digest
 from ..phy.error_models import NoError, PacketErrorRate
 from ..routing import install_aodv_routing, install_static_routing
 from ..stats.fairness import jain_index
@@ -31,6 +34,10 @@ from ..stats.throughput import ThroughputSampler
 from ..topology import Network, build_chain, build_cross
 from ..traffic import FtpFlow, start_ftp
 from .config import ScenarioConfig
+
+#: Hook invoked with ``(network, flows)`` after a scenario is built but
+#: before it runs — the attachment point for sinks, probes and recorders.
+Instrument = Callable[[Network, List[FtpFlow]], None]
 
 
 @dataclass
@@ -73,12 +80,22 @@ class FlowResult:
 
 @dataclass
 class RunResult:
-    """Outcome of one scenario run."""
+    """Outcome of one scenario run.
+
+    ``metrics`` is the run's deterministic observability snapshot
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`): a pure function
+    of the seeded run, so it serializes with the result and participates in
+    fingerprints.  ``manifest`` carries environment facts (wall time,
+    platform, package version) and is therefore *excluded* from
+    :meth:`to_dict` — two identical runs must serialize byte-identically.
+    """
 
     flows: List[FlowResult]
     sim_time: float
     mac_drops: int
     link_failures: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    manifest: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     @property
     def total_goodput_kbps(self) -> float:
@@ -90,12 +107,18 @@ class RunResult:
         return jain_index([flow.goodput_kbps for flow in self.flows])
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe plain-data form, stable across processes."""
+        """JSON-safe plain-data form, stable across processes.
+
+        Deliberately omits ``manifest``: it holds wall-clock/platform facts
+        that differ between identical runs, and this dict is what the
+        campaign engine fingerprints for determinism checks.
+        """
         return {
             "flows": [flow.to_dict() for flow in self.flows],
             "sim_time": self.sim_time,
             "mac_drops": self.mac_drops,
             "link_failures": self.link_failures,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -105,6 +128,7 @@ class RunResult:
             sim_time=payload["sim_time"],
             mac_drops=payload["mac_drops"],
             link_failures=payload["link_failures"],
+            metrics=payload.get("metrics", {}),
         )
 
 
@@ -165,25 +189,50 @@ def execute_run(spec: RunSpec) -> RunResult:
     """Execute one :class:`RunSpec` — a pure function of the spec.
 
     Module-level and argument-picklable by design: this is the unit of work
-    campaign worker processes receive.
+    campaign worker processes receive.  The returned result's manifest
+    additionally records the full spec, so the run can be replayed (and its
+    byte-identity verified) from the manifest alone.
     """
     if spec.kind == "chain":
-        return run_chain(
+        result = run_chain(
             spec.hops,
             list(spec.variants),
             config=spec.config,
             starts=list(spec.starts) if spec.starts is not None else None,
             record_dynamics=spec.record_dynamics,
         )
-    if spec.kind == "cross":
-        return run_cross(
+    elif spec.kind == "cross":
+        result = run_cross(
             spec.hops,
             spec.variants[0],
             spec.variants[1],
             config=spec.config,
             record_dynamics=spec.record_dynamics,
         )
-    raise ValueError(f"unknown run kind {spec.kind!r}")  # pragma: no cover
+    else:  # pragma: no cover
+        raise ValueError(f"unknown run kind {spec.kind!r}")
+    if result.manifest is not None:
+        attach_spec(result.manifest, spec.to_dict())
+    return result
+
+
+def replay_manifest(manifest: Dict[str, Any]) -> RunResult:
+    """Re-execute the run a manifest describes (requires an embedded spec)."""
+    spec = manifest.get("spec")
+    if spec is None:
+        raise ValueError("manifest carries no spec; cannot replay")
+    return execute_run(RunSpec.from_dict(spec))
+
+
+def verify_manifest(manifest: Dict[str, Any]) -> bool:
+    """Replay a manifest's run and check byte-identity of the result.
+
+    True when the re-run's canonical result serialization hashes to the
+    manifest's ``result_digest`` — the strong form of the reproduction
+    claim (same seed + config ⇒ same result, bit for bit).
+    """
+    replay = replay_manifest(manifest)
+    return stable_digest(replay.to_dict()) == manifest.get("result_digest")
 
 
 def _needs_drai(variants: Sequence[str]) -> bool:
@@ -211,7 +260,9 @@ def _finish(
     samplers: List[Optional[ThroughputSampler]],
     config: ScenarioConfig,
 ) -> RunResult:
+    wall_start = time.perf_counter()
     network.sim.run(until=config.sim_time)
+    wall_time_s = time.perf_counter() - wall_start
     results: List[FlowResult] = []
     for flow, sampler in zip(flows, samplers):
         active = max(config.sim_time - flow.start_time, 1e-9)
@@ -233,12 +284,23 @@ def _finish(
     link_failures = sum(
         n.routing.counters.link_failures for n in network.nodes if n.routing
     )
-    return RunResult(
+    metrics = collect_network_metrics(network, flows).snapshot()
+    result = RunResult(
         flows=results,
         sim_time=config.sim_time,
         mac_drops=mac_drops,
         link_failures=link_failures,
+        metrics=metrics,
     )
+    result.manifest = build_manifest(
+        seed=config.seed,
+        config=config.to_dict(),
+        sim_time=config.sim_time,
+        wall_time_s=wall_time_s,
+        metrics=metrics,
+        result_digest=stable_digest(result.to_dict()),
+    )
+    return result
 
 
 def run_chain(
@@ -247,11 +309,14 @@ def run_chain(
     config: Optional[ScenarioConfig] = None,
     starts: Optional[Sequence[float]] = None,
     record_dynamics: bool = False,
+    instrument: Optional[Instrument] = None,
 ) -> RunResult:
     """Run ``len(variants)`` end-to-end flows over an h-hop chain.
 
     Flow ``i`` uses ``variants[i]``, starts at ``starts[i]`` (default 0) and
-    runs node 0 -> node h on its own port pair.
+    runs node 0 -> node h on its own port pair.  ``instrument`` (if given)
+    is called with the built network and flows just before the simulation
+    runs — the hook trace sinks, probes and flight recorders attach through.
     """
     config = config or ScenarioConfig()
     starts = list(starts or [0.0] * len(variants))
@@ -290,6 +355,8 @@ def run_chain(
             samplers.append(sampler)
         else:
             samplers.append(None)
+    if instrument is not None:
+        instrument(network, flows)
     return _finish(network, flows, samplers, config)
 
 
@@ -299,6 +366,7 @@ def run_cross(
     variant_vertical: str,
     config: Optional[ScenarioConfig] = None,
     record_dynamics: bool = False,
+    instrument: Optional[Instrument] = None,
 ) -> RunResult:
     """Run the Fig. 5.15 cross: one flow left->right, one top->bottom."""
     config = config or ScenarioConfig()
@@ -337,4 +405,6 @@ def run_cross(
             samplers.append(sampler)
         else:
             samplers.append(None)
+    if instrument is not None:
+        instrument(network, flows)
     return _finish(network, flows, samplers, config)

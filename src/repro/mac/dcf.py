@@ -201,8 +201,12 @@ class DcfMac:
     def _update_nav(self, frame: MacFrame) -> None:
         if frame.duration <= 0:
             return
-        until = self.sim.now + frame.duration
+        now = self.sim.now
+        until = now + frame.duration
+        prev = self.nav.until
         if self.nav.set(until):
+            # Each successful extension adds exactly the newly reserved span.
+            self.counters.nav_time_s += until - max(prev, now)
             self.sim.cancel(self._nav_event)
             self._nav_event = self.sim.at(
                 until, self._on_nav_end, name="mac.nav_end"
@@ -254,6 +258,7 @@ class DcfMac:
             self._access()
             return
         self._backoff_slots = self._rng.randint(0, self._cw)
+        self.counters.backoff_slots += self._backoff_slots
         self._maybe_start_countdown()
 
     def _access(self) -> None:
@@ -456,6 +461,13 @@ class DcfMac:
     def _drop_current(self) -> None:
         self.counters.drops_retry_limit += 1
         entry = self._current
+        # Gate before building the field dict (sim.trace discipline).
+        if entry is not None and self.sim.trace.active and self.sim.trace.wants("mac.drop"):
+            self.sim.emit(
+                "mac", "mac.drop",
+                node=self.address, dst=entry.next_hop,
+                retries=self._retries_short + self._retries_long,
+            )
         self._reset_tx_state()
         if entry is not None and self.listener is not None:
             self.listener.mac_link_failure(entry.next_hop, entry.packet)

@@ -26,6 +26,10 @@ class MacCounters:
     broadcast_tx: int = 0
     broadcast_rx: int = 0
     rx_errors: int = 0
+    #: Total backoff slots drawn across all contention rounds.
+    backoff_slots: int = 0
+    #: Seconds of virtual carrier sense (NAV) this MAC honoured.
+    nav_time_s: float = 0.0
 
 
 class MediumUtilizationMeter:

@@ -85,11 +85,15 @@ class Node:
         channel.register(self.radio, position)
         self.mac = DcfMac(sim, channel, self.radio, node_id, params=mac_params)
         self.ifq = ifq if ifq is not None else DropTailQueue(ifq_capacity)
+        self.ifq.attach_trace(sim, node_id)
         self.mac.queue = self.ifq
         self.ifq.on_wakeup = self.mac.wakeup
         self.mac.listener = self
 
         self.routing: Optional[RoutingHooks] = None
+        #: Set by ``DraiEstimator.install`` so observability harvests can
+        #: find the router-assist state without a side table.
+        self.drai = None
         self.port_handlers: Dict[int, PortHandler] = {}
         #: Callables applied to every packet entering the IFQ here
         #: (origination and forwarding alike) — the router-assist hook.

@@ -30,6 +30,13 @@ class DropTailQueue:
         self.dequeued = 0
         self.drops = 0
         self.high_water = 0
+        self._sim = None
+        self._node_id = -1
+
+    def attach_trace(self, sim, node_id: int) -> None:
+        """Give the queue a simulator handle for gated ``ifq.*`` emits."""
+        self._sim = sim
+        self._node_id = node_id
 
     def __len__(self) -> int:
         return len(self._items)
@@ -41,8 +48,18 @@ class DropTailQueue:
 
     def enqueue(self, entry: QueuedPacket) -> bool:
         """Append ``entry``; returns False (and counts a drop) on overflow."""
+        sim = self._sim
         if not self._admit(entry):
             self.drops += 1
+            if sim is not None and sim.trace.active and sim.trace.wants("ifq.drop"):
+                sim.emit(
+                    f"ifq.{self._node_id}",
+                    "ifq.drop",
+                    node=self._node_id,
+                    len=len(self._items),
+                    capacity=self.capacity,
+                    drops=self.drops,
+                )
             if self.on_drop is not None:
                 self.on_drop(entry)
             return False
@@ -50,6 +67,14 @@ class DropTailQueue:
         self.enqueued += 1
         if len(self._items) > self.high_water:
             self.high_water = len(self._items)
+        if sim is not None and sim.trace.active and sim.trace.wants("ifq.enqueue"):
+            sim.emit(
+                f"ifq.{self._node_id}",
+                "ifq.enqueue",
+                node=self._node_id,
+                len=len(self._items),
+                occupancy=self.occupancy,
+            )
         if self.on_wakeup is not None:
             self.on_wakeup()
         return True

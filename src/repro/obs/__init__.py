@@ -1,0 +1,71 @@
+"""Observability layer: metrics, trace sinks, flight recorder, provenance.
+
+Everything here sits *on top of* the simulator's existing tracing and
+counter infrastructure — the hot paths keep their plain-``int`` counters
+and gated emits, and this package harvests, records, and attributes:
+
+* :mod:`~repro.obs.metrics` — Counter/Gauge/Histogram registry with
+  per-node and global rollups; :func:`collect_network_metrics` sweeps a
+  finished run into a deterministic snapshot.
+* :mod:`~repro.obs.sinks` — NDJSON/CSV file sinks for the trace bus.
+* :mod:`~repro.obs.probe` — periodic cwnd/queue/throughput sampler.
+* :mod:`~repro.obs.flight` — bounded per-node ring buffers dumped on
+  anomalies (RTO storms, route failures, queue-full bursts).
+* :mod:`~repro.obs.provenance` — run manifests (seed, config digest,
+  metrics snapshot, environment) attached to every result.
+* :mod:`~repro.obs.validate` — dependency-free schema validation for
+  trace files and manifests.
+"""
+
+from .flight import AnomalyDump, AnomalyRule, DEFAULT_RULES, FlightRecorder
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_network_metrics,
+)
+from .probe import TimeseriesProbe, attach_run_probe
+from .provenance import (
+    MANIFEST_SCHEMA_VERSION,
+    attach_spec,
+    build_manifest,
+    manifest_consistent,
+    stable_digest,
+)
+from .sinks import CsvTraceSink, NdjsonTraceSink, TraceSink, record_to_json_dict
+from .validate import (
+    load_schema,
+    validate,
+    validate_manifest_file,
+    validate_trace_file,
+)
+
+__all__ = [
+    "AnomalyDump",
+    "AnomalyRule",
+    "DEFAULT_RULES",
+    "FlightRecorder",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_network_metrics",
+    "TimeseriesProbe",
+    "attach_run_probe",
+    "MANIFEST_SCHEMA_VERSION",
+    "attach_spec",
+    "build_manifest",
+    "manifest_consistent",
+    "stable_digest",
+    "CsvTraceSink",
+    "NdjsonTraceSink",
+    "TraceSink",
+    "record_to_json_dict",
+    "load_schema",
+    "validate",
+    "validate_manifest_file",
+    "validate_trace_file",
+]

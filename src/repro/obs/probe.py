@@ -1,0 +1,87 @@
+"""Sampling time-series probe: periodic cwnd/queue/throughput snapshots.
+
+:class:`TimeseriesProbe` runs a :class:`~repro.sim.timer.PeriodicTimer`
+and, on every tick, evaluates a set of named samplers into ``(time,
+value)`` series — exactly the step-function shape every helper in
+:mod:`repro.stats.timeseries` (``resample``, ``time_average``,
+``differentiate``) consumes.
+
+Each tick also publishes one gated ``probe.sample`` trace record per
+watched series, so an attached NDJSON/CSV sink (see
+:mod:`repro.obs.sinks`) captures the samples inline with the event trace;
+with nothing subscribed the probe pays only the in-memory append.
+
+:func:`attach_run_probe` wires the standard scenario watch list — per-flow
+cwnd and cumulative delivered bytes, per-node IFQ backlog — which is the
+data behind the paper's cwnd/queue/throughput-over-time figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+from ..sim.timer import PeriodicTimer
+
+Sample = Tuple[float, float]
+
+
+class TimeseriesProbe:
+    """Periodic sampler of named scalar sources."""
+
+    def __init__(self, sim: Any, interval: float = 0.5) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.series: Dict[str, List[Sample]] = {}
+        self._samplers: List[Tuple[str, Callable[[], float]]] = []
+        self._timer = PeriodicTimer(sim, interval, self._sample, name="obs.probe")
+
+    def watch(self, name: str, fn: Callable[[], float]) -> "TimeseriesProbe":
+        """Sample ``fn()`` under ``name`` on every tick."""
+        if name in self.series:
+            raise ValueError(f"already watching {name!r}")
+        self._samplers.append((name, fn))
+        self.series[name] = []
+        return self
+
+    def start(self) -> "TimeseriesProbe":
+        """Take one immediate sample, then sample every ``interval``."""
+        self._sample()
+        self._timer.start()
+        return self
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        trace = self.sim.trace
+        # Gate before the field dict, per the sim.trace discipline.
+        traced = trace.active and trace.wants("probe.sample")
+        for name, fn in self._samplers:
+            value = float(fn())
+            self.series[name].append((now, value))
+            if traced:
+                self.sim.emit("probe", "probe.sample", name=name, value=value)
+
+
+def attach_run_probe(
+    network: Any, flows: Iterable[Any], interval: float = 0.5
+) -> TimeseriesProbe:
+    """Standard scenario watch list: flow cwnd + delivered bytes, node IFQs.
+
+    Differentiate a ``flow{i}.delivered_bytes`` series
+    (:func:`repro.stats.timeseries.differentiate`) to get the throughput
+    dynamics the paper plots.
+    """
+    probe = TimeseriesProbe(network.sim, interval)
+    for i, flow in enumerate(flows):
+        probe.watch(f"flow{i}.cwnd", lambda s=flow.sender: s.cwnd)
+        probe.watch(
+            f"flow{i}.delivered_bytes",
+            lambda sink=flow.sink: float(sink.delivered_bytes),
+        )
+    for node in network.nodes:
+        probe.watch(f"node{node.node_id}.ifq_len", lambda q=node.ifq: float(len(q)))
+    return probe.start()

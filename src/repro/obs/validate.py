@@ -1,0 +1,153 @@
+"""Schema validation for trace files and manifests — no dependencies.
+
+The container deliberately ships no ``jsonschema`` package, so this module
+implements the small subset of JSON Schema the repo's two committed
+schemas actually use — ``type`` (including union lists), ``required``,
+``properties``, ``additionalProperties: false`` and ``items`` — and wires
+it into loaders for those schemas:
+
+* ``schemas/trace_record.schema.json`` — one NDJSON trace line;
+* ``schemas/run_manifest.schema.json`` — a run provenance manifest.
+
+CLI (used by CI to hold trace/manifest output to the committed contract)::
+
+    python -m repro.obs.validate --trace out.ndjson --manifest out.manifest.json
+
+exits non-zero and prints each violation with its JSON path.  Manifests
+additionally get the :func:`~repro.obs.provenance.manifest_consistent`
+digest self-check.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .provenance import manifest_consistent
+
+PathLike = Union[str, Path]
+
+SCHEMA_DIR = Path(__file__).parent / "schemas"
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON Schema keeps them distinct.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema(name: str) -> Dict[str, Any]:
+    """Load a packaged schema by stem, e.g. ``load_schema("trace_record")``."""
+    path = SCHEMA_DIR / f"{name}.schema.json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> List[str]:
+    """All violations of ``schema`` by ``instance`` (empty list = valid)."""
+    errors: List[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](instance) for t in types):
+            errors.append(
+                f"{path}: expected type {'/'.join(types)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors  # structural checks below assume the right type
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for name in instance:
+                if name not in properties:
+                    errors.append(f"{path}: unexpected property {name!r}")
+        for name, subschema in properties.items():
+            if name in instance:
+                errors.extend(validate(instance[name], subschema,
+                                       f"{path}.{name}"))
+    elif isinstance(instance, list):
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(instance):
+                errors.extend(validate(item, items, f"{path}[{i}]"))
+    return errors
+
+
+def validate_trace_file(path: PathLike) -> List[str]:
+    """Violations in an NDJSON trace file, one entry per bad line."""
+    schema = load_schema("trace_record")
+    errors: List[str] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: invalid JSON ({exc})")
+                continue
+            errors.extend(f"line {lineno}: {err}"
+                          for err in validate(record, schema))
+    return errors
+
+
+def validate_manifest_file(path: PathLike) -> List[str]:
+    """Schema + digest-consistency violations in a manifest JSON file."""
+    try:
+        manifest = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON ({exc})"]
+    errors = validate(manifest, load_schema("run_manifest"))
+    if not errors and not manifest_consistent(manifest):
+        errors.append("embedded config/spec digests do not match their payloads")
+    return errors
+
+
+def main(argv: Any = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate NDJSON traces and run manifests against the "
+                    "committed schemas.",
+    )
+    parser.add_argument("--trace", action="append", default=[],
+                        help="NDJSON trace file to validate (repeatable)")
+    parser.add_argument("--manifest", action="append", default=[],
+                        help="manifest JSON file to validate (repeatable)")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.manifest:
+        parser.error("nothing to validate: pass --trace and/or --manifest")
+    failures = 0
+    for trace_path in args.trace:
+        errors = validate_trace_file(trace_path)
+        if errors:
+            failures += 1
+            print(f"FAIL {trace_path}")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"ok   {trace_path}")
+    for manifest_path in args.manifest:
+        errors = validate_manifest_file(manifest_path)
+        if errors:
+            failures += 1
+            print(f"FAIL {manifest_path}")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"ok   {manifest_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,6 +77,11 @@ class Radio:
         self._signals: List[Signal] = []
         self._transmitting = False
         self._tx_end = 0.0
+        # Decode-outcome counters over receivable signals, harvested by
+        # repro.obs.metrics.collect_network_metrics.
+        self.rx_ok = 0
+        self.collisions = 0
+        self.medium_errors = 0
 
     # -- state inspection -----------------------------------------------------
 
@@ -139,6 +144,13 @@ class Radio:
         """A transmission finished arriving; deliver or report the loss."""
         self._signals.remove(signal)
         decodable = signal.receivable and not signal.corrupted
+        if signal.receivable:
+            if signal.corrupted:
+                self.collisions += 1
+            elif corrupted_by_medium:
+                self.medium_errors += 1
+            else:
+                self.rx_ok += 1
         if self.listener is not None:
             if decodable and not corrupted_by_medium:
                 self.listener.phy_receive(signal.frame)

@@ -116,6 +116,13 @@ class AodvRouting(RoutingProtocol):
         self._rreq_seen[(rreq.orig, rreq.rreq_id)] = (
             self.sim.now + C.RREQ_SEEN_LIFETIME
         )
+        # Gate before building the field dict (sim.trace discipline).
+        if self.sim.trace.active and self.sim.trace.wants("aodv.rreq"):
+            self.sim.emit(
+                f"aodv.{self.node.node_id}", "aodv.rreq",
+                node=self.node.node_id, dst=pending.dst,
+                rreq_id=rreq.rreq_id, retry=pending.retries,
+            )
         self.node.send_control(self._control_packet(rreq, C.RREQ_BYTES), BROADCAST)
         if pending.timer is None:
             pending.timer = Timer(
@@ -135,6 +142,12 @@ class AodvRouting(RoutingProtocol):
         self.aodv.discovery_failures += 1
         self.aodv.buffered_drops += len(pending.buffered)
         self.counters.no_route_drops += len(pending.buffered)
+        if self.sim.trace.active and self.sim.trace.wants("aodv.route_failure"):
+            self.sim.emit(
+                f"aodv.{self.node.node_id}", "aodv.route_failure",
+                node=self.node.node_id, dst=dst,
+                dropped=len(pending.buffered),
+            )
         self._clear_pending(dst)
 
     def _clear_pending(self, dst: int) -> None:
@@ -207,6 +220,12 @@ class AodvRouting(RoutingProtocol):
         assert self.node is not None
         self.aodv.rrep_tx += 1
         self.counters.control_tx += 1
+        if self.sim.trace.active and self.sim.trace.wants("aodv.rrep"):
+            self.sim.emit(
+                f"aodv.{self.node.node_id}", "aodv.rrep",
+                node=self.node.node_id, orig=rrep.orig, dst=rrep.dst,
+                next_hop=next_hop,
+            )
         self.node.send_control(self._control_packet(rrep, C.RREP_BYTES), next_hop)
 
     def _receive_rrep(self, rrep: Rrep, from_addr: int) -> None:
@@ -252,6 +271,11 @@ class AodvRouting(RoutingProtocol):
                 self.node.dispatch(packet)
             return
         del self._suspect_links[next_hop]
+        if self.sim.trace.active and self.sim.trace.wants("aodv.link_down"):
+            self.sim.emit(
+                f"aodv.{self.node.node_id}", "aodv.link_down",
+                node=self.node.node_id, next_hop=next_hop,
+            )
         broken = self.table.invalidate_via(next_hop)
         # Pull queued packets headed into the broken link and salvage them:
         # they re-enter the discovery buffer and flow again once a route is
@@ -273,6 +297,12 @@ class AodvRouting(RoutingProtocol):
         assert self.node is not None
         self.aodv.rerr_tx += 1
         self.counters.control_tx += 1
+        if self.sim.trace.active and self.sim.trace.wants("aodv.rerr"):
+            self.sim.emit(
+                f"aodv.{self.node.node_id}", "aodv.rerr",
+                node=self.node.node_id,
+                unreachable=list(rerr.unreachable),
+            )
         self.node.send_control(self._control_packet(rerr, C.RERR_BYTES), BROADCAST)
 
     def _receive_rerr(self, rerr: Rerr, from_addr: int) -> None:

@@ -53,6 +53,24 @@ class TraceBus:
         if event == "*":
             self._wants_all = True
 
+    def unsubscribe(self, event: str, callback: TraceCallback) -> None:
+        """Remove one prior subscription; the matching gates re-close.
+
+        Dropping the last subscriber for an event makes :meth:`wants`
+        answer False for it again (and :attr:`active` False once nothing
+        at all is subscribed), so a traced run followed by an untraced run
+        on the same simulator regains the full hot path.  Unsubscribing a
+        callback that was never registered raises ``ValueError``.
+        """
+        callbacks = self._subscribers.get(event)
+        if callbacks is None:
+            raise ValueError(f"no subscribers for event {event!r}")
+        callbacks.remove(callback)
+        if not callbacks:
+            del self._subscribers[event]
+        if event == "*":
+            self._wants_all = "*" in self._subscribers
+
     def wants(self, event: str) -> bool:
         """True if anything is subscribed to ``event`` (or to everything)."""
         return self._wants_all or event in self._subscribers
@@ -67,11 +85,31 @@ class TraceBus:
 
 
 class TraceRecorder:
-    """Convenience collector that appends matching records to a list."""
+    """Convenience collector that appends matching records to a list.
+
+    Usable as a context manager: leaving the ``with`` block detaches the
+    recorder (re-closing the bus gates) while keeping ``records`` for
+    inspection.
+    """
 
     def __init__(self, bus: TraceBus, event: str) -> None:
         self.records: List[TraceRecord] = []
-        bus.subscribe(event, self.records.append)
+        self._bus: TraceBus | None = bus
+        self._event = event
+        self._callback = self.records.append
+        bus.subscribe(event, self._callback)
+
+    def detach(self) -> None:
+        """Stop recording; already-captured records stay available."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self._event, self._callback)
+            self._bus = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.detach()
 
     def __len__(self) -> int:
         return len(self.records)

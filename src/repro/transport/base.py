@@ -126,6 +126,13 @@ class TcpSenderBase:
         if value != self.cwnd:
             self.cwnd = value
             self.cwnd_trace.append((self.sim.now, value))
+            # Gate before building the field dict (sim.trace discipline).
+            if self.sim.trace.active and self.sim.trace.wants("tcp.cwnd"):
+                self.sim.emit(
+                    f"tcp.{self.node.node_id}", "tcp.cwnd",
+                    node=self.node.node_id, port=self.sport,
+                    cwnd=value, ssthresh=self.ssthresh,
+                )
 
     def _flight_half(self) -> float:
         """Half the amount of data in flight, floored at 2 (RFC 5681)."""
@@ -167,6 +174,11 @@ class TcpSenderBase:
         self._decorate_data_packet(packet)
         if is_retransmit:
             self.stats.retransmits += 1
+            if self.sim.trace.active and self.sim.trace.wants("tcp.retransmit"):
+                self.sim.emit(
+                    f"tcp.{self.node.node_id}", "tcp.retransmit",
+                    node=self.node.node_id, port=self.sport, seq=seq,
+                )
             if self._timed_seq == seq:
                 self._timed_seq = None  # Karn: never time a retransmit
         else:
@@ -222,6 +234,12 @@ class TcpSenderBase:
         if self.outstanding == 0:
             return
         self.stats.timeouts += 1
+        if self.sim.trace.active and self.sim.trace.wants("tcp.timeout"):
+            self.sim.emit(
+                f"tcp.{self.node.node_id}", "tcp.timeout",
+                node=self.node.node_id, port=self.sport,
+                seq=self.snd_una, rto=self.rtt.rto,
+            )
         self.rtt.backoff()
         self.dupacks = 0
         self._on_timeout()

@@ -119,3 +119,64 @@ def test_campaign_command_clear_cache(tmp_path, capsys):
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_trace_command_writes_ndjson_and_manifest(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.ndjson"
+    assert main([
+        "trace", "chain", "--hops", "2", "--time", "2",
+        "--variant", "newreno", "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "records" in out
+    lines = out_path.read_text().splitlines()
+    assert lines
+    first = json.loads(lines[0])
+    assert set(first) == {"t", "source", "event", "fields"}
+    manifest = json.loads((tmp_path / "trace.ndjson.manifest.json").read_text())
+    assert manifest["seed"] == 1
+    assert manifest["config"]["sim_time"] == 2.0
+    from repro.obs import validate_manifest_file, validate_trace_file
+
+    assert validate_trace_file(out_path) == []
+    assert validate_manifest_file(tmp_path / "trace.ndjson.manifest.json") == []
+
+
+def test_trace_command_csv_and_event_filter(tmp_path, capsys):
+    out_path = tmp_path / "trace.csv"
+    assert main([
+        "trace", "chain", "--hops", "2", "--time", "2",
+        "--variant", "newreno", "--out", str(out_path),
+        "--format", "csv", "--events", "tcp.cwnd", "mac.tx",
+    ]) == 0
+    header = out_path.read_text().splitlines()[0]
+    assert header == "time,source,event,fields"
+    body = out_path.read_text()
+    assert "tcp.cwnd" in body
+    assert "ifq.enqueue" not in body  # filtered out
+
+
+def test_stats_command_prints_counters(capsys):
+    assert main([
+        "stats", "chain", "--hops", "2", "--time", "2",
+        "--variant", "newreno",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "mac.data_tx" in out
+    assert "goodput" in out
+
+
+def test_stats_command_json_snapshot(capsys):
+    import json
+
+    assert main([
+        "stats", "chain", "--hops", "2", "--time", "2",
+        "--variant", "newreno", "--json",
+    ]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    rollup = snap["rollups"]["global"]
+    assert rollup["mac.data_tx"] > 0
+    assert rollup["ifq.enqueued"] > 0
+    assert rollup["tcp.data_sent"] > 0

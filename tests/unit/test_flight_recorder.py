@@ -1,0 +1,128 @@
+"""Unit tests for the flight recorder (repro.obs.flight)."""
+
+import json
+
+import pytest
+
+from repro.obs import AnomalyRule, FlightRecorder
+from repro.obs.flight import record_node
+from repro.sim import TraceBus, TraceRecord
+
+
+def _emit(bus, t, event, node, **fields):
+    fields["node"] = node
+    bus.emit(TraceRecord(t, f"test.{node}", event, fields))
+
+
+def test_anomaly_rule_rejects_zero_threshold():
+    with pytest.raises(ValueError):
+        AnomalyRule("bad", "x", threshold=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(TraceBus(), capacity=0)
+
+
+def test_record_node_prefers_node_then_src_then_source():
+    assert record_node(TraceRecord(0, "s", "e", {"node": 3, "src": 9})) == 3
+    assert record_node(TraceRecord(0, "s", "e", {"src": 9})) == 9
+    assert record_node(TraceRecord(0, "mac.2", "e", {})) == "mac.2"
+
+
+def test_single_occurrence_rule_dumps_ring_in_order(tmp_path):
+    bus = TraceBus()
+    rec = FlightRecorder(
+        bus, capacity=8, dump_dir=tmp_path,
+        rules=(AnomalyRule("route_failure", "aodv.route_failure"),),
+    )
+    _emit(bus, 0.5, "mac.tx", node=1)
+    _emit(bus, 1.0, "mac.tx", node=1)
+    _emit(bus, 1.5, "aodv.route_failure", node=1, dst=4)
+    assert len(rec.dumps) == 1
+    dump = rec.dumps[0]
+    assert (dump.rule, dump.node, dump.time, dump.records) == \
+        ("route_failure", 1, 1.5, 3)
+    lines = [json.loads(line) for line in dump.path.read_text().splitlines()]
+    assert lines[0] == {"anomaly": "route_failure", "node": 1,
+                        "time": 1.5, "records": 3}
+    assert [line["t"] for line in lines[1:]] == [0.5, 1.0, 1.5]
+
+
+def test_threshold_rule_needs_hits_inside_window():
+    bus = TraceBus()
+    rec = FlightRecorder(
+        bus, rules=(AnomalyRule("rto_storm", "tcp.timeout",
+                                threshold=3, window=1.0),),
+    )
+    # Three timeouts spread over 4 s: the window test must reject them.
+    for t in (0.0, 2.0, 4.0):
+        _emit(bus, t, "tcp.timeout", node=0)
+    assert rec.dumps == []
+    # Three timeouts in 0.4 s trip the rule.
+    for t in (10.0, 10.2, 10.4):
+        _emit(bus, t, "tcp.timeout", node=0)
+    assert [d.rule for d in rec.dumps] == ["rto_storm"]
+
+
+def test_rules_track_nodes_independently():
+    bus = TraceBus()
+    rec = FlightRecorder(
+        bus, rules=(AnomalyRule("burst", "ifq.drop", threshold=2, window=1.0),),
+    )
+    _emit(bus, 0.0, "ifq.drop", node=1)
+    _emit(bus, 0.1, "ifq.drop", node=2)
+    assert rec.dumps == []  # one hit per node: below threshold
+    _emit(bus, 0.2, "ifq.drop", node=2)
+    assert [(d.rule, d.node) for d in rec.dumps] == [("burst", 2)]
+
+
+def test_cooldown_suppresses_repeat_dumps():
+    bus = TraceBus()
+    rec = FlightRecorder(
+        bus, cooldown=5.0,
+        rules=(AnomalyRule("route_failure", "aodv.route_failure"),),
+    )
+    _emit(bus, 1.0, "aodv.route_failure", node=1)
+    _emit(bus, 2.0, "aodv.route_failure", node=1)  # inside cooldown
+    _emit(bus, 7.0, "aodv.route_failure", node=1)  # past cooldown
+    assert [d.time for d in rec.dumps] == [1.0, 7.0]
+
+
+def test_ring_is_bounded_by_capacity():
+    bus = TraceBus()
+    rec = FlightRecorder(bus, capacity=4, rules=())
+    for i in range(10):
+        _emit(bus, float(i), "mac.tx", node=1)
+    assert [r.time for r in rec.ring(1)] == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_on_anomaly_callback_and_detach():
+    bus = TraceBus()
+    seen = []
+    with FlightRecorder(
+        bus, rules=(AnomalyRule("route_failure", "aodv.route_failure"),),
+        on_anomaly=lambda dump, records: seen.append((dump.rule, len(records))),
+    ):
+        _emit(bus, 1.0, "aodv.route_failure", node=1)
+    assert seen == [("route_failure", 1)]
+    assert not bus.active  # detach re-gated the bus
+    _emit(bus, 2.0, "aodv.route_failure", node=1)
+    assert len(seen) == 1
+
+
+def test_recorder_captures_real_rto_storm():
+    """A 2-hop run with a mid-run link break produces tcp.timeout records
+    that the default rules turn into an rto_storm or route_failure dump."""
+    from repro.phy import Position
+    from repro.routing import install_aodv_routing
+    from repro.topology import build_chain
+    from repro.traffic import start_ftp
+
+    net = build_chain(2, seed=3)
+    install_aodv_routing(net.nodes, net.sim)
+    start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="newreno")
+    rec = FlightRecorder(net.sim.trace, capacity=64)
+    # Break the relay at t=2s by moving it out of range.
+    net.sim.at(2.0, lambda: net.channel.move(net.nodes[1].radio,
+                                             Position(1e6, 1e6)))
+    net.sim.run(until=12.0)
+    rec.detach()
+    assert any(d.rule in ("rto_storm", "route_failure") for d in rec.dumps)

@@ -1,0 +1,159 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.experiments import ScenarioConfig, run_chain
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_network_metrics,
+)
+
+
+# -- primitives ---------------------------------------------------------------
+
+
+def test_counter_increments_monotonically():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_gauge_set_and_add():
+    g = Gauge()
+    g.set(2.5)
+    g.add(-0.5)
+    assert g.value == 2.0
+
+
+def test_histogram_buckets_and_summary():
+    h = Histogram(bounds=(1, 4, 16))
+    for v in (0.5, 1.0, 3.0, 16.0, 100.0):
+        h.observe(v)
+    d = h.to_dict()
+    # bounds are inclusive upper edges: 0.5 and 1.0 land in le_1.
+    assert d["buckets"] == {"le_1": 2, "le_4": 1, "le_16": 1, "inf": 1}
+    assert d["count"] == 5
+    assert d["sum"] == pytest.approx(120.5)
+    assert d["mean"] == pytest.approx(120.5 / 5)
+
+
+def test_histogram_rejects_empty_and_duplicate_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=())
+    with pytest.raises(ValueError):
+        Histogram(bounds=(1, 1, 2))
+
+
+# -- registry semantics -------------------------------------------------------
+
+
+def test_registry_get_or_create_returns_same_object():
+    reg = MetricsRegistry()
+    a = reg.counter("mac.retries", node=1)
+    b = reg.counter("mac.retries", node=1)
+    assert a is b
+    assert reg.counter("mac.retries", node=2) is not a
+
+
+def test_registry_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    a = reg.gauge("tcp.cwnd", node=1, flow=0)
+    b = reg.gauge("tcp.cwnd", flow=0, node=1)
+    assert a is b
+
+
+def test_registry_histogram_bounds_conflict_raises():
+    reg = MetricsRegistry()
+    reg.histogram("h", bounds=(1, 2))
+    reg.histogram("h", bounds=(2, 1))  # same set, different order: fine
+    with pytest.raises(ValueError):
+        reg.histogram("h", bounds=(1, 2, 3))
+
+
+def test_snapshot_shape_and_rollups():
+    reg = MetricsRegistry()
+    reg.counter("mac.retries", node=0).inc(3)
+    reg.counter("mac.retries", node=1).inc(4)
+    reg.counter("ifq.drops", node=1).inc(2)
+    reg.counter("campaign.runs").inc()  # unlabelled: global rollup only
+    reg.gauge("ifq.len", node=0).set(5.0)
+    reg.histogram("tcp.cwnd_samples", node=0).observe(3.0)
+    snap = reg.snapshot()
+    assert snap["rollups"]["global"] == {
+        "campaign.runs": 1, "ifq.drops": 2, "mac.retries": 7,
+    }
+    assert snap["rollups"]["per_node"] == {
+        "0": {"mac.retries": 3},
+        "1": {"ifq.drops": 2, "mac.retries": 4},
+    }
+    assert snap["counters"]["mac.retries"] == {"node=0": 3, "node=1": 4}
+    assert snap["gauges"]["ifq.len"]["node=0"] == 5.0
+    assert snap["histograms"]["tcp.cwnd_samples"]["node=0"]["count"] == 1
+
+
+def test_snapshot_is_insertion_order_independent():
+    forward, backward = MetricsRegistry(), MetricsRegistry()
+    for node in range(4):
+        forward.counter("mac.retries", node=node).inc(node)
+    for node in reversed(range(4)):
+        backward.counter("mac.retries", node=node).inc(node)
+    assert json.dumps(forward.snapshot()) == json.dumps(backward.snapshot())
+
+
+def test_default_buckets_are_sorted():
+    assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+# -- network harvest ----------------------------------------------------------
+
+
+def _chain_result_and_network(seed):
+    from repro.routing import install_aodv_routing
+    from repro.topology import build_chain
+    from repro.traffic import start_ftp
+
+    net = build_chain(2, seed=seed)
+    install_aodv_routing(net.nodes, net.sim)
+    flow = start_ftp(net.sim, net.nodes[0], net.nodes[-1], variant="newreno")
+    net.sim.run(until=3.0)
+    return net, [flow]
+
+
+def test_collect_network_metrics_covers_every_layer():
+    net, flows = _chain_result_and_network(seed=7)
+    snap = collect_network_metrics(net, flows).snapshot()
+    rollup = snap["rollups"]["global"]
+    assert rollup["mac.data_tx"] > 0
+    assert rollup["ifq.enqueued"] > 0
+    assert rollup["tcp.data_sent"] > 0
+    assert rollup["tcp.delivered_packets"] > 0
+    assert rollup["aodv.rreq_tx"] > 0 and rollup["aodv.discoveries"] > 0
+    assert "phy.rx_ok" in rollup
+    # per-node rollups cover every node in the chain
+    assert set(snap["rollups"]["per_node"]) >= {"0", "1", "2"}
+    # the cwnd histogram saw at least the initial sample
+    hists = snap["histograms"]["tcp.cwnd_samples"]
+    assert sum(entry["count"] for entry in hists.values()) > 0
+
+
+def test_snapshot_determinism_across_identical_seeds():
+    snaps = []
+    for _ in range(2):
+        net, flows = _chain_result_and_network(seed=11)
+        snaps.append(json.dumps(collect_network_metrics(net, flows).snapshot(),
+                                sort_keys=True))
+    assert snaps[0] == snaps[1]
+
+
+def test_run_chain_result_carries_metrics_snapshot():
+    result = run_chain(2, ["newreno"], config=ScenarioConfig(sim_time=2.0, seed=5))
+    rollup = result.metrics["rollups"]["global"]
+    assert rollup["mac.data_tx"] > 0
+    assert result.to_dict()["metrics"] == result.metrics

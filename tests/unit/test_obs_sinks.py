@@ -1,0 +1,173 @@
+"""Unit tests for trace sinks, the time-series probe, and schema validation."""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs import (
+    CsvTraceSink,
+    NdjsonTraceSink,
+    TimeseriesProbe,
+    TraceSink,
+    load_schema,
+    record_to_json_dict,
+    validate,
+    validate_manifest_file,
+    validate_trace_file,
+)
+from repro.sim import Simulator, TraceBus, TraceRecord
+
+
+# -- sinks --------------------------------------------------------------------
+
+
+def test_ndjson_sink_round_trips_records(tmp_path):
+    path = tmp_path / "trace.ndjson"
+    bus = TraceBus()
+    with NdjsonTraceSink(path).attach(bus) as sink:
+        bus.emit(TraceRecord(0.5, "mac.1", "mac.tx", {"node": 1, "dst": 2}))
+        bus.emit(TraceRecord(1.5, "ifq.2", "ifq.drop", {"node": 2, "len": 50}))
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines == [
+        {"t": 0.5, "source": "mac.1", "event": "mac.tx",
+         "fields": {"node": 1, "dst": 2}},
+        {"t": 1.5, "source": "ifq.2", "event": "ifq.drop",
+         "fields": {"node": 2, "len": 50}},
+    ]
+    assert sink.records_written == 2
+    assert sink.counts == {"mac.tx": 1, "ifq.drop": 1}
+
+
+def test_csv_sink_writes_header_and_json_fields(tmp_path):
+    path = tmp_path / "trace.csv"
+    bus = TraceBus()
+    with CsvTraceSink(path).attach(bus):
+        bus.emit(TraceRecord(0.25, "tcp.0", "tcp.cwnd", {"cwnd": 4.0}))
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["time", "source", "event", "fields"]
+    assert rows[1][:3] == ["0.25", "tcp.0", "tcp.cwnd"]
+    assert json.loads(rows[1][3]) == {"cwnd": 4.0}
+
+
+def test_sink_event_filter_and_detach_regate(tmp_path):
+    bus = TraceBus()
+    sink = NdjsonTraceSink(tmp_path / "t.ndjson", events=("ifq.drop",))
+    sink.attach(bus)
+    assert bus.wants("ifq.drop") and not bus.wants("mac.tx")
+    bus.emit(TraceRecord(1.0, "mac.1", "mac.tx", {}))
+    bus.emit(TraceRecord(2.0, "ifq.1", "ifq.drop", {}))
+    sink.detach()
+    assert not bus.active
+    bus.emit(TraceRecord(3.0, "ifq.1", "ifq.drop", {}))
+    assert sink.records_written == 1
+
+
+def test_sink_rejects_bad_event_lists(tmp_path):
+    with pytest.raises(ValueError):
+        TraceSink(tmp_path / "t", events=())
+    with pytest.raises(ValueError):
+        TraceSink(tmp_path / "t", events=("*", "mac.tx"))
+
+
+def test_sink_double_attach_raises(tmp_path):
+    bus = TraceBus()
+    sink = NdjsonTraceSink(tmp_path / "t.ndjson")
+    sink.attach(bus)
+    with pytest.raises(RuntimeError):
+        sink.attach(bus)
+    sink.detach()
+
+
+def test_record_to_json_dict_shape():
+    rec = TraceRecord(1.0, "s", "e", {"k": "v"})
+    assert record_to_json_dict(rec) == {
+        "t": 1.0, "source": "s", "event": "e", "fields": {"k": "v"},
+    }
+
+
+# -- probe --------------------------------------------------------------------
+
+
+def test_probe_samples_on_interval_and_stop():
+    sim = Simulator(seed=1)
+    values = iter(range(100))
+    probe = TimeseriesProbe(sim, interval=0.5).watch("x", lambda: next(values))
+    probe.start()
+    sim.run(until=2.1)
+    probe.stop()
+    sim.run(until=5.0)
+    times = [t for t, _ in probe.series["x"]]
+    assert times == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+
+def test_probe_duplicate_watch_raises():
+    sim = Simulator(seed=1)
+    probe = TimeseriesProbe(sim, interval=1.0).watch("x", lambda: 0.0)
+    with pytest.raises(ValueError):
+        probe.watch("x", lambda: 1.0)
+    with pytest.raises(ValueError):
+        TimeseriesProbe(sim, interval=0.0)
+
+
+def test_probe_publishes_gated_trace_records():
+    sim = Simulator(seed=1)
+    seen = []
+    probe = TimeseriesProbe(sim, interval=1.0).watch("x", lambda: 7.0)
+    probe.start()  # not yet subscribed: the immediate sample is untraced
+    sim.trace.subscribe("probe.sample", seen.append)
+    sim.run(until=2.5)
+    probe.stop()
+    assert [r.fields["value"] for r in seen] == [7.0, 7.0]
+    assert seen[0].fields["name"] == "x"
+
+
+# -- schema validation --------------------------------------------------------
+
+
+def test_validate_accepts_good_and_flags_bad_records():
+    schema = load_schema("trace_record")
+    good = {"t": 1.0, "source": "s", "event": "e", "fields": {}}
+    assert validate(good, schema) == []
+    assert validate({"t": "late", "source": "s", "event": "e", "fields": {}},
+                    schema)  # wrong type
+    assert validate({"source": "s", "event": "e", "fields": {}}, schema)
+    assert validate(dict(good, extra=1), schema)  # additionalProperties
+
+
+def test_validate_trace_file_reports_line_numbers(tmp_path):
+    path = tmp_path / "trace.ndjson"
+    path.write_text(
+        '{"t":1.0,"source":"s","event":"e","fields":{}}\n'
+        'not json\n'
+        '{"t":2.0,"event":"e","fields":{}}\n'
+    )
+    errors = validate_trace_file(path)
+    assert len(errors) == 2
+    assert any("line 2" in e for e in errors)
+    assert any("line 3" in e for e in errors)
+
+
+def test_validate_manifest_file_checks_schema_and_consistency(tmp_path):
+    from repro.obs import build_manifest, stable_digest
+
+    manifest = build_manifest(
+        seed=1, config={"sim_time": 2.0}, sim_time=2.0, wall_time_s=0.1,
+        metrics={}, result_digest=stable_digest({"ok": True}),
+    )
+    path = tmp_path / "m.json"
+    path.write_text(json.dumps(manifest))
+    assert validate_manifest_file(path) == []
+    manifest["config_digest"] = "0" * 64  # break digest consistency
+    path.write_text(json.dumps(manifest))
+    assert validate_manifest_file(path)
+
+
+def test_validate_cli_main(tmp_path):
+    from repro.obs.validate import main
+
+    path = tmp_path / "trace.ndjson"
+    path.write_text('{"t":1.0,"source":"s","event":"e","fields":{}}\n')
+    assert main(["--trace", str(path)]) == 0
+    path.write_text('{"t":"x"}\n')
+    assert main(["--trace", str(path)]) == 1

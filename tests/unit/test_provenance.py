@@ -1,0 +1,141 @@
+"""Unit tests for run provenance (repro.obs.provenance + runner/campaign)."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    RunSpec,
+    ScenarioConfig,
+    execute_run,
+    replay_manifest,
+    run_campaign,
+    run_chain,
+    verify_manifest,
+)
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    attach_spec,
+    build_manifest,
+    manifest_consistent,
+    stable_digest,
+)
+
+
+def _quick_config(seed=1):
+    return ScenarioConfig(sim_time=2.0, seed=seed)
+
+
+# -- stable_digest ------------------------------------------------------------
+
+
+def test_stable_digest_is_key_order_independent():
+    assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+    assert stable_digest({"a": 1}) != stable_digest({"a": 2})
+
+
+def test_stable_digest_reexported_from_experiments_config():
+    from repro.experiments.config import stable_digest as reexported
+
+    assert reexported is stable_digest
+
+
+# -- build_manifest / manifest_consistent ------------------------------------
+
+
+def test_build_manifest_fields_and_consistency():
+    config = _quick_config().to_dict()
+    manifest = build_manifest(
+        seed=1, config=config, sim_time=2.0, wall_time_s=0.5,
+        metrics={"rollups": {}}, result_digest="d" * 64,
+    )
+    assert manifest["manifest_schema"] == MANIFEST_SCHEMA_VERSION
+    assert manifest["config_digest"] == stable_digest(config)
+    assert manifest["spec"] is None and manifest["spec_digest"] is None
+    assert manifest_consistent(manifest)
+    manifest["config"]["sim_time"] = 99.0
+    assert not manifest_consistent(manifest)
+
+
+def test_attach_spec_records_digest():
+    manifest = build_manifest(
+        seed=1, config={}, sim_time=1.0, wall_time_s=0.0,
+        metrics={}, result_digest="",
+    )
+    spec = RunSpec(kind="chain", hops=2, variants=("newreno",),
+                   config=_quick_config()).to_dict()
+    attach_spec(manifest, spec)
+    assert manifest["spec_digest"] == stable_digest(spec)
+    assert manifest_consistent(manifest)
+    manifest["spec"]["hops"] = 9
+    assert not manifest_consistent(manifest)
+
+
+# -- runner integration -------------------------------------------------------
+
+
+def test_run_chain_attaches_manifest_but_keeps_it_out_of_to_dict():
+    result = run_chain(2, ["newreno"], config=_quick_config())
+    manifest = result.manifest
+    assert manifest is not None
+    assert manifest["seed"] == 1
+    assert manifest["config"] == _quick_config().to_dict()
+    assert manifest["sim_time"] == 2.0
+    assert manifest["wall_time_s"] > 0
+    assert manifest["metrics"] == result.metrics
+    assert manifest["result_digest"] == stable_digest(result.to_dict())
+    # Environment facts must never leak into the canonical serialization.
+    assert "manifest" not in result.to_dict()
+    assert "wall_time_s" not in result.to_dict()
+
+
+def test_execute_run_manifest_replays_byte_identically():
+    spec = RunSpec(kind="chain", hops=2, variants=("newreno",),
+                   config=_quick_config(seed=42))
+    result = execute_run(spec)
+    manifest = result.manifest
+    assert manifest["spec"] == spec.to_dict()
+    # The acceptance claim: seed + config reproduce the run bit for bit.
+    replayed = replay_manifest(manifest)
+    assert stable_digest(replayed.to_dict()) == manifest["result_digest"]
+    assert verify_manifest(manifest)
+
+
+def test_replay_manifest_without_spec_raises():
+    manifest = build_manifest(
+        seed=1, config={}, sim_time=1.0, wall_time_s=0.0,
+        metrics={}, result_digest="",
+    )
+    with pytest.raises(ValueError):
+        replay_manifest(manifest)
+
+
+def test_manifest_json_serializable():
+    result = run_chain(2, ["newreno"], config=_quick_config())
+    json.dumps(result.manifest)  # must not raise
+
+
+# -- campaign integration -----------------------------------------------------
+
+
+def test_campaign_manifests_survive_the_cache(tmp_path):
+    from repro.experiments import CampaignCache
+
+    spec = RunSpec(kind="chain", hops=2, variants=("newreno",),
+                   config=_quick_config())
+    cold = run_campaign([spec], jobs=1, cache=CampaignCache(tmp_path))
+    warm = run_campaign([spec], jobs=1, cache=CampaignCache(tmp_path))
+    assert cold.records[0].cached is False
+    assert warm.records[0].cached is True
+    m_cold, m_warm = cold.records[0].manifest, warm.records[0].manifest
+    assert m_cold is not None and m_warm is not None
+    assert m_warm["result_digest"] == m_cold["result_digest"]
+    # The embedded spec is the *planned* unit (campaign-assigned seed).
+    assert m_warm["spec"] == m_cold["spec"]
+    assert m_warm["spec"]["kind"] == "chain"
+    assert m_warm["spec"]["config"]["seed"] == m_warm["seed"]
+    # The cache hit hands the manifest back through RunRecord.result too.
+    assert warm.records[0].result.manifest["result_digest"] == \
+        m_cold["result_digest"]
+    # Manifests must not perturb the determinism fingerprint.
+    assert warm.fingerprint() == cold.fingerprint()

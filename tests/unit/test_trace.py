@@ -95,3 +95,67 @@ def test_simulator_emit_carries_time_and_fields():
     assert len(seen) == 1
     assert seen[0].time == 2.5
     assert seen[0].fields == {"n": 7}
+
+
+def test_unsubscribe_removes_callback():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("x", seen.append)
+    bus.unsubscribe("x", seen.append)
+    bus.emit(TraceRecord(1.0, "s", "x", {}))
+    assert seen == []
+    assert not bus.wants("x")
+    assert not bus.active
+
+
+def test_unsubscribe_unknown_event_raises():
+    import pytest
+
+    bus = TraceBus()
+    with pytest.raises(ValueError):
+        bus.unsubscribe("never-subscribed", lambda r: None)
+
+
+def test_unsubscribe_last_wildcard_recomputes_wants_all():
+    bus = TraceBus()
+    cb = lambda r: None  # noqa: E731
+    bus.subscribe("*", cb)
+    assert bus.wants("anything")
+    bus.unsubscribe("*", cb)
+    assert not bus.wants("anything")
+    # A named subscription must survive wildcard removal.
+    bus.subscribe("x", cb)
+    bus.subscribe("*", cb)
+    bus.unsubscribe("*", cb)
+    assert bus.wants("x")
+    assert not bus.wants("y")
+
+
+def test_unsubscribe_keeps_other_callbacks_for_same_event():
+    bus = TraceBus()
+    first, second = [], []
+    bus.subscribe("x", first.append)
+    bus.subscribe("x", second.append)
+    bus.unsubscribe("x", first.append)
+    bus.emit(TraceRecord(1.0, "s", "x", {}))
+    assert first == []
+    assert len(second) == 1
+
+
+def test_recorder_context_manager_detaches():
+    bus = TraceBus()
+    with TraceRecorder(bus, "drop") as rec:
+        bus.emit(TraceRecord(1.0, "q", "drop", {}))
+    bus.emit(TraceRecord(2.0, "q", "drop", {}))
+    assert [r.time for r in rec] == [1.0]
+    assert not bus.wants("drop")
+
+
+def test_recorder_detach_is_idempotent_with_explicit_call():
+    bus = TraceBus()
+    rec = TraceRecorder(bus, "*")
+    bus.emit(TraceRecord(1.0, "q", "drop", {}))
+    rec.detach()
+    bus.emit(TraceRecord(2.0, "q", "drop", {}))
+    assert len(rec) == 1
+    assert not bus.active
