@@ -28,6 +28,7 @@ from .core.drai import DRAI_TABLE, apply_drai
 from .experiments import (
     PAPER_VARIANTS,
     CampaignCache,
+    RetryPolicy,
     ScenarioConfig,
     SweepConfig,
     Table51Parameters,
@@ -44,6 +45,7 @@ from .experiments import (
     run_cross,
     throughput_retransmit_sweep,
 )
+from .faults import FaultPlan, FaultPlanError
 from .obs import CsvTraceSink, FlightRecorder, NdjsonTraceSink, attach_run_probe
 from .stats import jain_index, resample
 
@@ -57,10 +59,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="fault-injection plan (crashes/blackouts/...) to run under",
+    )
+
+
+def _load_faults(args: argparse.Namespace):
+    """The parsed FaultPlan named by ``--faults``, or None."""
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None
+    try:
+        return FaultPlan.load(path)
+    except FileNotFoundError:
+        raise SystemExit(f"fault plan not found: {path}")
+    except FaultPlanError as exc:
+        raise SystemExit(f"bad fault plan {path}: {exc}")
+
+
 def _cmd_chain(args: argparse.Namespace) -> int:
     config = ScenarioConfig(
         sim_time=args.time, seed=args.seed, window=args.window, routing=args.routing,
-        packet_error_rate=args.loss,
+        packet_error_rate=args.loss, faults=_load_faults(args),
     )
     result = run_chain(args.hops, [args.variant], config=config)
     flow = result.flows[0]
@@ -130,7 +152,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"cache cleared: {removed} entries removed")
     config = ScenarioConfig(
         sim_time=args.time, routing=args.routing, window=args.window,
-        packet_error_rate=args.loss,
+        packet_error_rate=args.loss, faults=_load_faults(args),
     )
     grid = chain_grid(args.variants, args.hops, config=config)
     total_runs = len(grid) * args.replications
@@ -151,6 +173,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"cache={'off' if cache is None else args.cache_dir}"
     )
     started = time.time()
+    policy = RetryPolicy(
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        backoff=args.retry_backoff,
+    )
     result = run_campaign(
         grid,
         replications=args.replications,
@@ -158,6 +185,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         progress=report if not args.quiet else None,
+        policy=policy,
     )
     elapsed = time.time() - started
 
@@ -166,28 +194,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         records = [r for r in result.records
                    if r.run.spec.with_seed(0) == spec.with_seed(0)]
         goodputs = [r.result.total_goodput_kbps for r in records]
-        rows.append(
-            [spec.hops, "+".join(spec.variants),
-             f"{sum(goodputs) / len(goodputs):8.1f}", len(goodputs)]
-        )
+        if goodputs:
+            rows.append(
+                [spec.hops, "+".join(spec.variants),
+                 f"{sum(goodputs) / len(goodputs):8.1f}", len(goodputs)]
+            )
+        else:  # every replication of this scenario was quarantined
+            rows.append([spec.hops, "+".join(spec.variants), "   (failed)", 0])
     print()
     print(format_table(["hops", "variants", "goodput (kbps)", "runs"], rows,
                        title="campaign means"))
     print(
         f"\n{result.executed} simulated, {result.cache_hits} cache hits, "
-        f"{elapsed:.1f}s wall"
+        f"{len(result.failed)} failed, {elapsed:.1f}s wall"
     )
+    if result.failed:
+        print("\nquarantined runs (campaign results above are PARTIAL):")
+        for failure in result.failed:
+            run = failure.run
+            print(
+                f"  #{run.index} {run.spec.kind} h={run.spec.hops} "
+                f"{'+'.join(run.spec.variants)} rep{run.replication} "
+                f"seed={run.seed}: {failure.error} "
+                f"({failure.attempts} attempts)"
+            )
     if args.csv:
         path = export_campaign_csv(result, args.csv)
         print(f"per-run metrics written to {path}")
-    return 0
+    return 0 if result.complete else 1
 
 
 def _run_scenario(args: argparse.Namespace, instrument=None):
     """Run the ``trace``/``stats`` scenario shape with an optional hook."""
     config = ScenarioConfig(
         sim_time=args.time, seed=args.seed, window=args.window,
-        routing=args.routing,
+        routing=args.routing, faults=_load_faults(args),
     )
     if args.scenario == "chain":
         return run_chain(args.hops, [args.variant], config=config,
@@ -326,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     chain.add_argument("--loss", type=float, default=0.0,
                        help="per-frame random loss probability")
     chain.add_argument("--trace", action="store_true", help="print the cwnd trace")
+    _add_faults(chain)
     chain.set_defaults(func=_cmd_chain)
 
     sweep = sub.add_parser("sweep", help="Figs 5.8-5.13 hop sweep")
@@ -372,6 +414,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write per-run metrics to a CSV file")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-run progress lines")
+    campaign.add_argument("--task-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock watchdog per run attempt "
+                               "(default: no timeout)")
+    campaign.add_argument("--max-retries", type=int, default=2,
+                          help="retries before a crashed/hung run is "
+                               "quarantined")
+    campaign.add_argument("--retry-backoff", type=float, default=0.25,
+                          metavar="SECONDS",
+                          help="base delay before a retry (doubles per "
+                               "attempt)")
+    _add_faults(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     def add_scenario_args(p: argparse.ArgumentParser) -> None:
@@ -400,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm the flight recorder; anomaly dumps go here")
     trace.add_argument("--probe-interval", type=float, default=0.5,
                        help="time-series probe period, seconds (0 disables)")
+    _add_faults(trace)
     trace.set_defaults(func=_cmd_trace)
 
     stats_p = sub.add_parser(
@@ -411,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dump the full snapshot as JSON")
     stats_p.add_argument("--per-node", action="store_true",
                          help="also print the per-node rollup table")
+    _add_faults(stats_p)
     stats_p.set_defaults(func=_cmd_stats)
 
     profile = sub.add_parser(

@@ -1,12 +1,12 @@
-"""Parallel, cached experiment campaigns.
+"""Parallel, cached, self-healing experiment campaigns.
 
 The paper's evaluation is a grid — TCP variant × hop count × loss model ×
 replication — of mutually independent simulation runs.  This module turns
 that grid into a batch workload:
 
 * :func:`run_campaign` fans :class:`repro.experiments.runner.RunSpec` units
-  out over a ``multiprocessing`` worker pool (``jobs`` workers, default
-  ``os.cpu_count()``);
+  out over supervised ``multiprocessing`` workers (``jobs`` at a time,
+  default ``os.cpu_count()``);
 * every run's master seed is derived from its ``(scenario, replication)``
   key via :func:`repro.sim.rng.derive_run_seed`, so metrics are
   bit-identical whatever the worker count or execution order;
@@ -14,6 +14,15 @@ that grid into a batch workload:
   content-addressed store keyed by the hash of the run's full configuration
   plus the code schema version — so re-running a campaign only executes
   scenarios whose parameters (or the simulator itself) changed.
+
+Self-healing: each worker attempt runs under a supervisor with an optional
+wall-clock watchdog (:class:`RetryPolicy.task_timeout`).  A worker that
+crashes, is killed, or hangs past its deadline is retried with exponential
+backoff up to :class:`RetryPolicy.max_retries` times; a unit that exhausts
+its retries is *quarantined* — recorded in ``CampaignResult.failed`` — and
+the rest of the campaign completes normally.  Cache entries carry a content
+checksum; a truncated or bit-flipped entry is detected on read, reported via
+:class:`CacheCorruptionWarning`, evicted, and transparently recomputed.
 
 Determinism contract: ``run_campaign(grid)`` is a pure function of the grid
 and the campaign seed.  The property tests in
@@ -24,7 +33,10 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
+import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -34,6 +46,15 @@ from .config import CACHE_SCHEMA_VERSION, ScenarioConfig, stable_digest
 from .runner import RunResult, RunSpec, execute_run
 
 PathLike = Union[str, Path]
+
+#: Fault-injection hook for CI/testing: ``"<sentinel-path>:<index>"`` makes
+#: the worker executing unit ``index`` hard-exit (``os._exit``) once — the
+#: sentinel file marks the crash as spent so the retry succeeds.
+CRASH_ONCE_ENV = "REPRO_CAMPAIGN_CRASH_ONCE"
+
+
+class CacheCorruptionWarning(UserWarning):
+    """A campaign cache entry failed validation and was evicted."""
 
 
 # ---------------------------------------------------------------------------
@@ -68,38 +89,91 @@ def run_digest(spec: RunSpec) -> str:
 # On-disk content-addressed cache
 
 
+def _envelope_checksum(result: Dict[str, Any],
+                       manifest: Optional[Dict[str, Any]]) -> str:
+    return stable_digest({"manifest": manifest, "result": result})
+
+
 class CampaignCache:
     """Content-addressed store of run results under a root directory.
 
     Layout: ``<root>/<digest[:2]>/<digest>.json`` — one JSON document per
-    completed run.  Writes are atomic (tmp file + rename) so a campaign
-    killed mid-write never leaves a truncated entry behind.
+    completed run, a ``{"result", "manifest", "checksum"}`` envelope whose
+    checksum is the content digest of the result+manifest pair.  Writes are
+    atomic (tmp file + rename) so a campaign killed mid-write never leaves a
+    truncated entry behind; corruption that slips past that (truncation by a
+    full disk, bit rot, a partial copy) is caught by the checksum on read —
+    the entry is evicted with a :class:`CacheCorruptionWarning` and the run
+    recomputed.
     """
 
     def __init__(self, root: PathLike) -> None:
         self.root = Path(root)
+        #: Corrupt entries evicted by :meth:`get` over this cache's lifetime.
+        self.evictions = 0
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
     def get(self, digest: str) -> Optional[Dict[str, Any]]:
-        """The cached payload for ``digest``, or None on a miss."""
+        """The cached ``{"result", "manifest"}`` payload, or None on a miss.
+
+        Any validation failure — unreadable file, broken JSON, missing
+        checksum, checksum mismatch — warns, evicts the entry, and reports a
+        miss so the caller recomputes.
+        """
         path = self._path(digest)
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                return json.load(handle)
+            text = path.read_text(encoding="utf-8")
         except FileNotFoundError:
             return None
-        except (json.JSONDecodeError, OSError):
-            # A corrupt entry is a miss; the rerun will overwrite it.
+        except OSError as exc:
+            self._evict(path, digest, f"unreadable: {exc}")
             return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            self._evict(path, digest, f"truncated or invalid JSON: {exc}")
+            return None
+        if (
+            not isinstance(payload, dict)
+            or "result" not in payload
+            or "checksum" not in payload
+        ):
+            self._evict(path, digest, "malformed envelope")
+            return None
+        expected = _envelope_checksum(payload["result"], payload.get("manifest"))
+        if payload["checksum"] != expected:
+            self._evict(path, digest, "checksum mismatch (corrupted content)")
+            return None
+        return {"result": payload["result"], "manifest": payload.get("manifest")}
+
+    def _evict(self, path: Path, digest: str, reason: str) -> None:
+        self.evictions += 1
+        warnings.warn(
+            f"campaign cache entry {digest[:12]}… {reason}; "
+            "evicting and recomputing",
+            CacheCorruptionWarning,
+            stacklevel=3,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        result = payload["result"]
+        manifest = payload.get("manifest")
+        envelope = {
+            "result": result,
+            "manifest": manifest,
+            "checksum": _envelope_checksum(result, manifest),
+        }
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            json.dump(envelope, handle, sort_keys=True, separators=(",", ":"))
         os.replace(tmp, path)
 
     def __contains__(self, digest: str) -> bool:
@@ -162,10 +236,41 @@ class RunRecord:
 
 
 @dataclass
+class FailedRun:
+    """A unit quarantined after exhausting its retries."""
+
+    run: CampaignRun
+    error: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.run.index,
+            "scenario": self.run.scenario,
+            "replication": self.run.replication,
+            "seed": self.run.seed,
+            "digest": self.run.digest,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
 class CampaignResult:
-    """All records of a campaign, in the order the grid listed them."""
+    """All records of a campaign, in the order the grid listed them.
+
+    ``failed`` holds the quarantined units — present only when workers
+    crashed or hung past their retry budget.  ``records`` then covers the
+    surviving subset, still in grid order, so a partially failed campaign
+    yields partial (explicitly attributed) results instead of nothing.
+    """
 
     records: List[RunRecord] = field(default_factory=list)
+    failed: List[FailedRun] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
 
     @property
     def executed(self) -> int:
@@ -243,13 +348,76 @@ def plan_campaign(
 # Execution
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor treats crashed or hung workers.
+
+    ``task_timeout`` is a per-attempt wall-clock deadline in seconds (None
+    disables the watchdog).  A failed attempt is retried up to
+    ``max_retries`` times — attempt ``n``'s retry waits
+    ``backoff * 2**(n-1)`` seconds first — after which the unit is
+    quarantined into ``CampaignResult.failed``.
+    """
+
+    task_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {self.task_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before the retry that follows failed attempt ``attempt``."""
+        return self.backoff * (2 ** (attempt - 1))
+
+
+def _maybe_injected_crash(index: int) -> None:
+    """Honour the :data:`CRASH_ONCE_ENV` chaos hook (no-op when unset)."""
+    spec = os.environ.get(CRASH_ONCE_ENV)
+    if not spec:
+        return
+    sentinel, _, target = spec.rpartition(":")
+    if not sentinel or not target or int(target) != index:
+        return
+    path = Path(sentinel)
+    if path.exists():
+        return  # the one allowed crash already happened
+    path.touch()
+    os._exit(13)
+
+
 def _execute_unit(
     args: Tuple[int, RunSpec]
 ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, Any]]]:
     """Worker entry point: run one spec, return (index, metrics, manifest)."""
     index, spec = args
+    _maybe_injected_crash(index)
     result = execute_run(spec)
     return index, result.to_dict(), result.manifest
+
+
+def _supervised_worker(conn, index: int, spec: RunSpec) -> None:
+    """Child-process shim around :func:`_execute_unit`.
+
+    Routes through ``_execute_unit`` (not ``execute_run`` directly) so test
+    monkeypatches of ``_execute_unit`` — inherited across ``fork`` — and the
+    :data:`CRASH_ONCE_ENV` hook apply to supervised execution too.
+    """
+    try:
+        idx, metrics, manifest = _execute_unit((index, spec))
+        conn.send(("ok", idx, metrics, manifest))
+    except BaseException as exc:  # a worker must never die silently
+        try:
+            conn.send(("err", index, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -262,6 +430,123 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context()
 
 
+@dataclass
+class _Attempt:
+    """Supervisor bookkeeping for one in-flight worker process."""
+
+    run: CampaignRun
+    attempt: int  # 1-based
+    process: Any
+    conn: Any
+    deadline: Optional[float]  # time.monotonic watchdog cutoff
+
+
+def _terminate(process) -> None:
+    process.terminate()
+    process.join(timeout=1.0)
+    if process.is_alive():  # pragma: no cover - SIGTERM ignored
+        process.kill()
+        process.join()
+
+
+def _run_supervised(
+    pending: Sequence[CampaignRun],
+    jobs: int,
+    policy: RetryPolicy,
+    store: Callable[[CampaignRun, Dict[str, Any], Optional[Dict[str, Any]]], None],
+    quarantine: Callable[[FailedRun], None],
+) -> None:
+    """Run ``pending`` under crash/hang supervision, ``jobs`` at a time.
+
+    Each unit gets its own forked process and result pipe.  The loop
+    launches ready units into free slots, waits on the pipes with a timeout
+    bounded by the nearest watchdog deadline / backoff expiry, reaps
+    results, terminates over-deadline workers, and requeues failures with
+    exponential backoff until their retry budget runs out.
+    """
+    ctx = _pool_context()
+    workers = min(jobs, len(pending))
+    # (ready_time, run, attempt) — ready_time is a monotonic timestamp.
+    queue: List[Tuple[float, CampaignRun, int]] = [(0.0, run, 1) for run in pending]
+    active: Dict[Any, _Attempt] = {}
+
+    def launch_ready() -> None:
+        now = time.monotonic()
+        i = 0
+        while i < len(queue) and len(active) < workers:
+            ready, run, attempt = queue[i]
+            if ready > now:
+                i += 1
+                continue
+            queue.pop(i)
+            parent, child = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_supervised_worker, args=(child, run.index, run.spec)
+            )
+            process.start()
+            child.close()
+            deadline = (
+                now + policy.task_timeout if policy.task_timeout is not None else None
+            )
+            active[parent] = _Attempt(run, attempt, process, parent, deadline)
+
+    def handle_failure(entry: _Attempt, error: str) -> None:
+        if entry.attempt <= policy.max_retries:
+            ready = time.monotonic() + policy.retry_delay(entry.attempt)
+            queue.append((ready, entry.run, entry.attempt + 1))
+        else:
+            quarantine(FailedRun(run=entry.run, error=error, attempts=entry.attempt))
+
+    def reap(conn, timed_out: bool) -> None:
+        entry = active.pop(conn)
+        message = None
+        if not timed_out:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                message = None  # died before sending: a hard crash
+        conn.close()
+        if timed_out:
+            _terminate(entry.process)
+            handle_failure(
+                entry,
+                f"timed out after {policy.task_timeout:g}s wall clock",
+            )
+            return
+        entry.process.join()
+        if message is not None and message[0] == "ok":
+            _, _, metrics, manifest = message
+            store(entry.run, metrics, manifest)
+        elif message is not None:
+            handle_failure(entry, message[2])
+        else:
+            code = entry.process.exitcode
+            handle_failure(entry, f"worker crashed (exit code {code})")
+
+    while queue or active:
+        launch_ready()
+        now = time.monotonic()
+        if not active:
+            # Every remaining unit is waiting out its backoff.
+            time.sleep(max(0.0, min(ready for ready, _, _ in queue) - now))
+            continue
+        timeout = 0.5
+        deadlines = [e.deadline for e in active.values() if e.deadline is not None]
+        if deadlines:
+            timeout = min(timeout, max(0.0, min(deadlines) - now))
+        if queue:
+            timeout = min(timeout, max(0.0, min(r for r, _, _ in queue) - now))
+        ready_conns = multiprocessing.connection.wait(list(active), timeout=timeout)
+        for conn in ready_conns:
+            reap(conn, timed_out=False)
+        now = time.monotonic()
+        for conn in [
+            c for c, e in active.items()
+            if e.deadline is not None and now >= e.deadline
+        ]:
+            reap(conn, timed_out=True)
+
+
 ProgressFn = Callable[[RunRecord, int, int], None]
 
 
@@ -272,15 +557,19 @@ def run_campaign(
     jobs: Optional[int] = None,
     cache: Optional[CampaignCache] = None,
     progress: Optional[ProgressFn] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
     """Run every ``(spec, replication)`` in ``grid``; return ordered records.
 
-    ``jobs`` is the worker-process count (default ``os.cpu_count()``;
-    ``1`` executes in-process with no pool).  ``cache`` enables the on-disk
+    ``jobs`` is the worker-process count (default ``os.cpu_count()``; ``1``
+    with no watchdog executes in-process).  ``cache`` enables the on-disk
     memo: hits skip execution entirely, misses are written back after their
-    run completes.  ``progress`` is invoked once per finished run — from
-    the coordinating process, in completion order — with
-    ``(record, done_count, total_count)``.
+    run completes.  ``progress`` is invoked once per finished run — from the
+    coordinating process, in completion order — with
+    ``(record, done_count, total_count)``.  ``policy`` configures the
+    self-healing supervisor (watchdog timeout, retries, backoff); units that
+    exhaust their retries land in ``CampaignResult.failed`` and the campaign
+    still completes.
 
     The returned records are always in grid order, and their metrics are
     byte-identical for any ``jobs`` value: seeds come from
@@ -290,8 +579,10 @@ def run_campaign(
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    policy = policy if policy is not None else RetryPolicy()
 
     records: Dict[int, RunRecord] = {}
+    failed: List[FailedRun] = []
     done = 0
 
     def finish(record: RunRecord) -> None:
@@ -301,14 +592,16 @@ def run_campaign(
         if progress is not None:
             progress(record, done, len(runs))
 
+    def quarantine(failure: FailedRun) -> None:
+        nonlocal done
+        failed.append(failure)
+        done += 1
+
     pending: List[CampaignRun] = []
     for run in runs:
         payload = cache.get(run.digest) if cache is not None else None
         if payload is not None:
-            # v2 entries are {"result": ..., "manifest": ...} envelopes;
-            # tolerate bare-result payloads for robustness.
-            metrics = payload.get("result", payload)
-            finish(RunRecord(run=run, metrics=metrics, cached=True,
+            finish(RunRecord(run=run, metrics=payload["result"], cached=True,
                              manifest=payload.get("manifest")))
         else:
             pending.append(run)
@@ -320,19 +613,32 @@ def run_campaign(
         finish(RunRecord(run=run, metrics=metrics, cached=False,
                          manifest=manifest))
 
-    by_index = {run.index: run for run in pending}
-    if pending and jobs == 1:
+    if pending and jobs == 1 and policy.task_timeout is None:
+        # In-process fast path: no fork, no pipes.  Exceptions are retried
+        # without backoff (an in-process failure is deterministic; sleeping
+        # between identical attempts buys nothing) and then quarantined.
         for run in pending:
-            _, metrics, manifest = _execute_unit((run.index, run.spec))
-            store(run, metrics, manifest)
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    _, metrics, manifest = _execute_unit((run.index, run.spec))
+                except Exception as exc:
+                    if attempt <= policy.max_retries:
+                        continue
+                    quarantine(FailedRun(
+                        run=run,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt,
+                    ))
+                    break
+                store(run, metrics, manifest)
+                break
     elif pending:
-        ctx = _pool_context()
-        workers = min(jobs, len(pending))
-        with ctx.Pool(processes=workers) as pool:
-            work = [(run.index, run.spec) for run in pending]
-            for index, metrics, manifest in pool.imap_unordered(
-                _execute_unit, work
-            ):
-                store(by_index[index], metrics, manifest)
+        _run_supervised(pending, jobs, policy, store, quarantine)
 
-    return CampaignResult(records=[records[i] for i in range(len(runs))])
+    failed.sort(key=lambda f: f.run.index)
+    return CampaignResult(
+        records=[records[i] for i in sorted(records)],
+        failed=failed,
+    )

@@ -9,6 +9,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.drai import DraiParams
+from ..faults import FaultPlan
 # Canonical home of the content digest is the provenance module (manifests
 # and the campaign cache must agree on it); re-exported here for callers.
 from ..obs.provenance import stable_digest  # noqa: F401
@@ -21,7 +22,8 @@ FULL_ENV_VAR = "REPRO_FULL"
 #: Bump whenever a change to the simulator makes previously cached campaign
 #: results stale (the campaign cache folds this into every content hash).
 #: v2: cache entries became ``{"result": ..., "manifest": ...}`` envelopes.
-CACHE_SCHEMA_VERSION = 2
+#: v3: checksummed envelopes (corruption detection) + fault-plan configs.
+CACHE_SCHEMA_VERSION = 3
 
 
 def full_scale() -> bool:
@@ -67,12 +69,19 @@ class ScenarioConfig:
     packet_error_rate: float = 0.0
     #: Sampling period for throughput-dynamics series.
     sampler_interval: float = 1.0
+    #: Fault-injection plan (crashes/blackouts/...); None = undisturbed run.
+    faults: Optional[FaultPlan] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form (JSON-safe), suitable for hashing and pickling."""
         payload = dataclasses.asdict(self)
         if self.drai_params is not None:
             payload["drai_params"] = dataclasses.asdict(self.drai_params)
+        # asdict() recurses into the plan's nested dataclasses but loses the
+        # None-field elision FaultPlan.to_dict guarantees; use the canonical
+        # form so config digests stay stable.
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
         return payload
 
     @classmethod
@@ -81,6 +90,9 @@ class ScenarioConfig:
         drai = data.get("drai_params")
         if drai is not None:
             data["drai_params"] = DraiParams(**drai)
+        faults = data.get("faults")
+        if faults is not None:
+            data["faults"] = FaultPlan.from_dict(faults)
         return cls(**data)
 
     def replace(self, **changes: Any) -> "ScenarioConfig":

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.drai import DraiEstimator, install_drai
+from ..faults import install_faults
 from ..obs.metrics import collect_network_metrics
 from ..obs.provenance import attach_spec, build_manifest, stable_digest
 from ..phy.error_models import NoError, PacketErrorRate
@@ -331,6 +332,8 @@ def run_chain(
     _install_routing(network, config)
     if _needs_drai(variants):
         install_drai(network.nodes, network.sim, params=config.drai_params)
+    if config.faults is not None:
+        install_faults(network, config.faults, horizon=config.sim_time)
     src, dst = network.nodes[0], network.nodes[-1]
     flows: List[FtpFlow] = []
     samplers: List[Optional[ThroughputSampler]] = []
@@ -380,6 +383,8 @@ def run_cross(
     variants = (variant_horizontal, variant_vertical)
     if _needs_drai(variants):
         install_drai(network.nodes, network.sim, params=config.drai_params)
+    if config.faults is not None:
+        install_faults(network, config.faults, horizon=config.sim_time)
     endpoints = [
         (network.left, network.right),
         (network.top, network.bottom),

@@ -1,0 +1,42 @@
+"""Deterministic fault injection: crashes, blackouts, bursts, partitions.
+
+The paper's claim — router advice lets TCP react correctly to losses that
+are *not* congestion — is only testable under adversarial conditions:
+wireless corruption bursts, link breaks, node churn.  This package scripts
+exactly those conditions as first-class, reproducible experiment inputs:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`/:class:`FaultEvent`/
+  :class:`RandomFaults`: declarative, JSON-round-trippable fault schedules
+  that hash into campaign cache keys and provenance manifests;
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`: turns a plan into
+  ordinary simulator events (crash/restart, veto/heal, swap/restore), with
+  gated ``fault.*`` trace emits.
+
+Determinism contract: a faulted run is still a pure function of
+``(config, seed)`` — random fault expansion draws from the dedicated
+``faults.plan`` RNG stream, and every action is a scheduled event, so
+``verify_manifest`` holds for chaos runs exactly as for clean ones.
+"""
+
+from .injector import FaultCounters, FaultInjector, PLAN_STREAM, install_faults
+from .plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    RandomFaults,
+    build_error_model,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultCounters",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "PLAN_STREAM",
+    "RandomFaults",
+    "build_error_model",
+    "install_faults",
+]

@@ -107,6 +107,7 @@ class DcfMac:
         self._eifs = p.sifs + self._ack_time + p.difs
 
         self._rng = sim.stream(f"mac.backoff.{address}")
+        self._down = False
         self._state = DcfState.IDLE
         self._current: Optional[QueuedPacket] = None
         self._frame_id = 0
@@ -142,8 +143,43 @@ class DcfMac:
 
     def wakeup(self) -> None:
         """The interface queue went non-empty; pull if we are idle."""
+        if self._down:
+            return
         if self._current is None:
             self._pull_next()
+
+    def shutdown(self) -> None:
+        """Power the MAC down (node crash): cancel every pending timer and
+        event, drop the in-service packet, and ignore stale callbacks.
+
+        Events whose handles the MAC does not keep (``mac.tx_done``, SIFS
+        responses already queued) may still fire after shutdown; the
+        ``_down`` guards turn them into no-ops instead of stale-state
+        corruption.
+        """
+        if self._down:
+            return
+        self._down = True
+        self._reset_tx_state()
+        self._response_timer.stop()
+        self._pending_response = None
+        self.sim.cancel(self._nav_event)
+        self._nav_event = None
+        self.nav.clear()
+        self._use_eifs = False
+        self._medium_idle_since = None
+
+    def restart(self) -> None:
+        """Power back up with fresh link state (a rebooted node forgets its
+        duplicate-detection history and any virtual carrier reservation)."""
+        if not self._down:
+            return
+        self._down = False
+        self._rx_dedup.clear()
+        # _frame_id deliberately keeps counting: reusing ids after a reboot
+        # would trip the peers' duplicate caches and silently eat frames.
+        self._reevaluate_medium()
+        self.wakeup()
 
     # -- medium state -------------------------------------------------------------
 
@@ -181,6 +217,8 @@ class DcfMac:
         self._use_eifs = True
 
     def phy_receive(self, frame: MacFrame) -> None:
+        if self._down:
+            return
         self._use_eifs = False
         if frame.dst == self.address:
             if frame.kind is FrameKind.RTS:
@@ -263,6 +301,8 @@ class DcfMac:
 
     def _access(self) -> None:
         self._access_event = None
+        if self._down:
+            return
         if self._current is None:
             self._state = DcfState.IDLE
             return
@@ -342,6 +382,8 @@ class DcfMac:
         self.sim.after(tx_time, self._tx_done, frame, name="mac.tx_done")
 
     def _tx_done(self, frame: MacFrame) -> None:
+        if self._down:
+            return  # the node died between keying up and tx completion
         if frame.kind is FrameKind.RTS:
             self._cts_timer.start(
                 self.params.sifs + self._cts_time + self.params.timeout_guard
@@ -367,6 +409,8 @@ class DcfMac:
     def _send_response(self) -> None:
         frame = self._pending_response
         self._pending_response = None
+        if self._down:
+            return
         if frame is not None:
             self._send_frame(frame)
         self._reevaluate_medium()

@@ -64,6 +64,11 @@ class NodeCounters:
     no_route_drops: int = 0
     ttl_drops: int = 0
     no_handler_drops: int = 0
+    #: Packets discarded because this node was powered off (fault injection):
+    #: flushed from the IFQ at crash time plus sends attempted while down.
+    down_drops: int = 0
+    crashes: int = 0
+    restarts: int = 0
 
 
 class Node:
@@ -81,6 +86,9 @@ class Node:
     ) -> None:
         self.sim = sim
         self.node_id = node_id
+        self.channel = channel
+        #: True while the node is powered off (fault injection).
+        self.down = False
         self.radio = Radio(sim, node_id)
         channel.register(self.radio, position)
         self.mac = DcfMac(sim, channel, self.radio, node_id, params=mac_params)
@@ -110,10 +118,50 @@ class Node:
             raise ValueError(f"port {port} already bound on node {self.node_id}")
         self.port_handlers[port] = handler
 
+    # -- power state (fault injection) ------------------------------------------
+
+    def crash(self) -> None:
+        """Power the node off mid-run: radio down, MAC timers cancelled, IFQ
+        flushed, routing state wiped, channel fan-out vetoed.
+
+        Idempotent: crashing a dead node is a no-op.  Transport agents
+        hosted here keep their timers (the *process* survives in our model;
+        the network interface does not) — their sends are dropped at
+        :meth:`send` until :meth:`restart`.
+        """
+        if self.down:
+            return
+        self.down = True
+        self.counters.crashes += 1
+        self.mac.shutdown()
+        self.radio.shutdown()
+        self.counters.down_drops += len(self.ifq.flush())
+        hook = getattr(self.routing, "on_node_down", None)
+        if hook is not None:
+            hook()
+        self.channel.set_node_down(self.node_id, True)
+
+    def restart(self) -> None:
+        """Power the node back on with a cold protocol stack (empty IFQ,
+        fresh MAC link state, empty routing table)."""
+        if not self.down:
+            return
+        self.down = False
+        self.counters.restarts += 1
+        self.channel.set_node_down(self.node_id, False)
+        self.radio.restore()
+        self.mac.restart()
+        hook = getattr(self.routing, "on_node_up", None)
+        if hook is not None:
+            hook()
+
     # -- sending ---------------------------------------------------------------
 
     def send(self, packet: Packet) -> None:
         """Originate ``packet`` from this node (transport entry point)."""
+        if self.down:
+            self.counters.down_drops += 1
+            return
         self.counters.originated += 1
         if packet.dst == self.node_id:
             self._deliver_local(packet)
@@ -126,11 +174,17 @@ class Node:
         Used by routing protocols to release packets that were buffered
         while a route discovery was in flight.
         """
+        if self.down:
+            self.counters.down_drops += 1
+            return
         self._route_and_enqueue(packet)
 
     def send_control(self, packet: Packet, next_hop: int) -> None:
         """Send a routing-control packet directly to a MAC next hop
         (``BROADCAST`` floods); bypasses the route lookup."""
+        if self.down:
+            self.counters.down_drops += 1
+            return
         self._enqueue_to_mac(packet, next_hop)
 
     def _route_and_enqueue(self, packet: Packet) -> None:

@@ -29,6 +29,7 @@ class DropTailQueue:
         self.enqueued = 0
         self.dequeued = 0
         self.drops = 0
+        self.fault_flushed = 0
         self.high_water = 0
         self._sim = None
         self._node_id = -1
@@ -85,6 +86,18 @@ class DropTailQueue:
             return None
         self.dequeued += 1
         return self._items.popleft()
+
+    def flush(self) -> list:
+        """Drop every queued entry (node crash); returns what was flushed.
+
+        Flushed entries are accounted in ``fault_flushed`` rather than
+        ``drops`` — they were admitted, then lost with the node, and the
+        conservation accounting must tell the two apart.
+        """
+        flushed = list(self._items)
+        self._items.clear()
+        self.fault_flushed += len(flushed)
+        return flushed
 
     def remove_if(self, predicate: Callable[[QueuedPacket], bool]) -> list:
         """Remove and return queued entries matching ``predicate``.

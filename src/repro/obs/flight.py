@@ -62,6 +62,12 @@ DEFAULT_RULES: Tuple[AnomalyRule, ...] = (
     AnomalyRule("route_failure", "aodv.route_failure"),
     AnomalyRule("route_failure", "aodv.link_down"),
     AnomalyRule("queue_full_burst", "ifq.drop", threshold=5, window=0.5),
+    # Injected faults (repro.faults): every one is anomalous by definition,
+    # so any single occurrence dumps the window leading up to it — the
+    # post-mortem then shows what the protocols were doing when it hit.
+    AnomalyRule("fault_node_crash", "fault.node_crash"),
+    AnomalyRule("fault_link_blackout", "fault.link_blackout"),
+    AnomalyRule("fault_partition", "fault.partition"),
 )
 
 

@@ -22,7 +22,7 @@ the departure trampoline entirely.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..sim import units
 from ..sim.simulator import Simulator
@@ -62,6 +62,12 @@ class WirelessChannel:
         self._fanout: Optional[Dict[Radio, List[FanoutEntry]]] = None
         self._rx_neighbors: Optional[Dict[Radio, List[Radio]]] = None
         self._error_rng = sim.stream("phy.error")
+        # Fault vetoes (node crashes / link blackouts).  They act as
+        # topology filters inside the neighbour-cache build, so the per-frame
+        # transmit hot path is untouched: fault transitions are rare events
+        # that pay one cache rebuild each.
+        self._down_nodes: Set[int] = set()
+        self._blocked_links: Set[FrozenSet[int]] = set()
         #: Total number of frame transmissions started on this channel.
         self.transmissions = 0
 
@@ -87,6 +93,34 @@ class WirelessChannel:
     def position_of(self, radio: Radio) -> Position:
         return self._positions[radio]
 
+    # -- fault vetoes -----------------------------------------------------------
+
+    def set_node_down(self, node_id: int, down: bool) -> None:
+        """Mark a crashed (or restarted) node; a down node neither radiates
+        to nor hears any neighbour."""
+        if down:
+            self._down_nodes.add(node_id)
+        else:
+            self._down_nodes.discard(node_id)
+        self._invalidate()
+
+    def block_link(self, a: int, b: int) -> None:
+        """Veto the ``a``–``b`` pair in both directions (blackout/partition)."""
+        self._blocked_links.add(frozenset((a, b)))
+        self._invalidate()
+
+    def unblock_link(self, a: int, b: int) -> None:
+        """Lift a link veto (healing is a no-op for an unblocked pair)."""
+        self._blocked_links.discard(frozenset((a, b)))
+        self._invalidate()
+
+    def _vetoed(self, src: Radio, dst: Radio) -> bool:
+        if not self._down_nodes and not self._blocked_links:
+            return False
+        if src.node_id in self._down_nodes or dst.node_id in self._down_nodes:
+            return True
+        return frozenset((src.node_id, dst.node_id)) in self._blocked_links
+
     def _neighbor_map(self) -> Dict[Radio, List[Tuple[Radio, bool, float, float]]]:
         if self._neighbors is None:
             table: Dict[Radio, List[Tuple[Radio, bool, float, float]]] = {}
@@ -96,6 +130,8 @@ class WirelessChannel:
                 entries: List[Tuple[Radio, bool, float, float]] = []
                 for dst in radios:
                     if dst is src:
+                        continue
+                    if self._vetoed(src, dst):
                         continue
                     dst_pos = self._positions[dst]
                     if not self.propagation.can_sense(src_pos, dst_pos):

@@ -74,6 +74,9 @@ class Radio:
         self.node_id = node_id
         self.capture_ratio = capture_ratio
         self.listener: Optional[PhyListener] = None
+        #: True while the node is powered off (fault injection); a down
+        #: radio neither tracks nor delivers signals.
+        self.down = False
         self._signals: List[Signal] = []
         self._transmitting = False
         self._tx_end = 0.0
@@ -94,10 +97,30 @@ class Radio:
         """Physical carrier sense: own TX or any energy on the air here."""
         return self._transmitting or bool(self._signals)
 
+    # -- power state (fault injection) ------------------------------------------
+
+    def shutdown(self) -> None:
+        """Power off mid-flight: discard in-progress receptions and TX state.
+
+        Signal-end events for the discarded receptions may already be on the
+        scheduler; :meth:`signal_end` tolerates them (the signal is simply
+        no longer tracked here).
+        """
+        self.down = True
+        self._signals.clear()
+        self._transmitting = False
+
+    def restore(self) -> None:
+        """Power back on with a clean slate (any mid-air frames are missed)."""
+        self.down = False
+        self._tx_end = 0.0
+
     # -- transmit side (driven by the channel) ---------------------------------
 
     def begin_transmit(self, duration: float) -> None:
         """Enter TX state for ``duration``; ruins any in-progress receptions."""
+        if self.down:
+            return  # a powered-off radio cannot key up
         if self._transmitting:
             raise RuntimeError(f"radio {self.node_id} is already transmitting")
         was_busy = self.carrier_busy
@@ -111,6 +134,8 @@ class Radio:
     def end_transmit(self) -> None:
         """Leave TX state; reports idle if nothing remains on the air."""
         self._transmitting = False
+        if self.down:
+            return  # stale tx-end after a mid-transmission shutdown
         if not self.carrier_busy and self.listener is not None:
             self.listener.phy_channel_idle()
 
@@ -118,6 +143,8 @@ class Radio:
 
     def signal_start(self, signal: Signal) -> None:
         """A transmission began arriving at this radio."""
+        if self.down:
+            return  # in-flight arrival at a powered-off radio: lost energy
         was_busy = self.carrier_busy
         if self._transmitting:
             signal.corrupted = True
@@ -142,7 +169,12 @@ class Radio:
 
     def signal_end(self, signal: Signal, corrupted_by_medium: bool) -> None:
         """A transmission finished arriving; deliver or report the loss."""
-        self._signals.remove(signal)
+        try:
+            self._signals.remove(signal)
+        except ValueError:
+            # The signal was discarded by a mid-flight shutdown (possibly
+            # followed by a restart); the frame is simply lost.
+            return
         decodable = signal.receivable and not signal.corrupted
         if signal.receivable:
             if signal.corrupted:

@@ -166,6 +166,35 @@ class AodvRouting(RoutingProtocol):
         for packet in pending.buffered:
             self.node.dispatch(packet)
 
+    # -- power state (fault injection) ----------------------------------------------
+
+    def on_node_down(self) -> None:
+        """Crash: stop every pending-discovery timer and wipe routing state.
+
+        The timers matter most — a discovery timeout firing on a dead node
+        would rebroadcast RREQs from beyond the grave.  Buffered packets die
+        with the node (counted as drops, like the IFQ flush).
+        """
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.stop()
+            self.aodv.buffered_drops += len(pending.buffered)
+            self.counters.no_route_drops += len(pending.buffered)
+        self._pending.clear()
+        self.table.clear()
+        self._rreq_seen.clear()
+        self._rerr_sent.clear()
+        self._suspect_links.clear()
+
+    def on_node_up(self) -> None:
+        """Reboot with a cold table but a bumped sequence number.
+
+        RFC 3561 §6.1: after a reboot a node must not reuse old sequence
+        numbers, or stale pre-crash RREPs held by neighbours could beat its
+        fresh ones.  We keep ``seq_no``/``rreq_id`` monotonic and bump once.
+        """
+        self.seq_no += 1
+
     # -- control-plane receive ------------------------------------------------------
 
     def receive_control(self, packet: Packet, from_addr: int) -> None:

@@ -90,6 +90,10 @@ class RoutingTable:
             return entry
         return None
 
+    def clear(self) -> None:
+        """Forget every route (node reboot: the table does not survive)."""
+        self._entries.clear()
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -64,3 +64,14 @@ class RoutingProtocol(ABC):
 
     def on_data_packet(self, packet: Packet, from_addr: int) -> None:
         """Called for every delivered/forwarded data packet (route refresh)."""
+
+    def on_node_down(self) -> None:
+        """The host node crashed: cancel timers, drop in-flight state.
+
+        Default is a no-op (static routing keeps its precomputed tables —
+        the dead node simply stops forwarding); on-demand protocols override
+        this to stop discovery timers so no stale event fires post-mortem.
+        """
+
+    def on_node_up(self) -> None:
+        """The host node restarted; state should look like a cold boot."""

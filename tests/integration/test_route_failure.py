@@ -68,3 +68,37 @@ def test_chain_break_with_no_alternative_stalls_then_fails_discovery():
     net.sim.run(until=20.0)
     assert protocols[0].aodv.discovery_failures >= 1
     assert protocols[0].next_hop(2) is None
+
+
+def test_next_hop_crash_mid_flight_emits_rerr_and_reroutes():
+    """The active relay powers off (fault-injection ``crash()``) with frames
+    in flight toward it.  The sender's MAC must run out of retries, AODV
+    must confirm the loss, invalidate routes via the dead hop, and broadcast
+    a RERR — and the dead node must never fire a stale timer or handle a
+    stale event (any of those would raise and fail the run)."""
+    net = build_diamond(seed=4)
+    protocols = install_aodv_routing(net.nodes, net.sim)
+    flow = start_ftp(net.sim, net.nodes[0], net.nodes[3], variant="newreno", window=4)
+
+    net.sim.run(until=3.0)
+    delivered_before = flow.sink.delivered_packets
+    assert delivered_before > 10
+    first_hop = protocols[0].next_hop(3)
+    assert first_hop in (1, 2)
+    victim = net.node(first_hop)
+    victim.crash()  # mid-simulation, frames to it still in the air
+
+    net.sim.run(until=15.0)
+    # AODV saw the break and told the neighbours.  (Which endpoint detects
+    # it depends on who had frames in flight — often the ACK-sending sink,
+    # whose RERR-triggered rediscovery then refreshes the sender's route.)
+    assert sum(p.counters.link_failures for p in protocols.values()) >= 1
+    assert sum(p.aodv.rerr_tx for p in protocols.values()) >= 1
+    # the dead relay held pending state at crash time and wiped it
+    assert protocols[first_hop]._pending == {}
+    assert len(protocols[first_hop].table) == 0
+    # the flow rerouted over the surviving branch and kept delivering
+    assert protocols[0].next_hop(3) not in (None, first_hop)
+    assert flow.sink.delivered_packets > delivered_before + 20
+    # nothing was transmitted by (or delivered to) the corpse after death
+    assert victim.down and victim.counters.crashes == 1

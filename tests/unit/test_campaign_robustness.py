@@ -1,0 +1,234 @@
+"""Self-healing behaviour of the campaign engine: corrupted cache entries,
+crashed workers, hung workers, and quarantine of units that exhaust their
+retry budget.
+
+Worker-fault injection monkeypatches ``campaign._execute_unit``; the
+supervisor forks its workers, so children inherit the patch.  Cross-process
+"fail only once" coordination uses sentinel files on disk."""
+
+import json
+import os
+import time
+
+import pytest
+
+import repro.experiments.campaign as campaign
+from repro.experiments import (
+    CacheCorruptionWarning,
+    CampaignCache,
+    RetryPolicy,
+    ScenarioConfig,
+    chain_grid,
+    run_campaign,
+)
+
+
+def tiny_grid(n_scenarios=1):
+    config = ScenarioConfig(sim_time=0.5, window=4)
+    return chain_grid(["newreno"], [2, 3][:n_scenarios], config=config)
+
+
+def cache_files(root):
+    return sorted(root.glob("*/*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Cache corruption detection
+
+
+def test_truncated_cache_entry_is_evicted_and_recomputed(tmp_path):
+    cache = CampaignCache(tmp_path / "cache")
+    baseline = run_campaign(tiny_grid(), jobs=1, cache=cache)
+    assert baseline.executed == 1
+
+    entry = cache_files(cache.root)[0]
+    entry.write_text(entry.read_text()[: entry.stat().st_size // 2])
+
+    with pytest.warns(CacheCorruptionWarning, match="invalid JSON"):
+        again = run_campaign(tiny_grid(), jobs=1, cache=cache)
+    assert again.executed == 1  # recomputed, not served from the bad entry
+    assert again.cache_hits == 0
+    assert cache.evictions == 1
+    assert again.fingerprint() == baseline.fingerprint()
+
+    # the rewritten entry is valid again
+    third = run_campaign(tiny_grid(), jobs=1, cache=cache)
+    assert third.cache_hits == 1 and third.executed == 0
+
+
+def test_bit_flipped_cache_entry_fails_its_checksum(tmp_path):
+    cache = CampaignCache(tmp_path / "cache")
+    baseline = run_campaign(tiny_grid(), jobs=1, cache=cache)
+
+    entry = cache_files(cache.root)[0]
+    payload = json.loads(entry.read_text())
+    payload["result"]["mac_drops"] = payload["result"]["mac_drops"] + 7
+    entry.write_text(json.dumps(payload))  # valid JSON, corrupted content
+
+    with pytest.warns(CacheCorruptionWarning, match="checksum mismatch"):
+        again = run_campaign(tiny_grid(), jobs=1, cache=cache)
+    assert again.executed == 1
+    assert not entry.exists() or again.fingerprint() == baseline.fingerprint()
+    assert again.fingerprint() == baseline.fingerprint()
+
+
+def test_envelope_without_checksum_is_rejected(tmp_path):
+    cache = CampaignCache(tmp_path / "cache")
+    run_campaign(tiny_grid(), jobs=1, cache=cache)
+    entry = cache_files(cache.root)[0]
+    payload = json.loads(entry.read_text())
+    del payload["checksum"]
+    entry.write_text(json.dumps(payload))
+
+    with pytest.warns(CacheCorruptionWarning, match="malformed envelope"):
+        assert cache.get(entry.stem) is None
+    assert not entry.exists()
+
+
+# ---------------------------------------------------------------------------
+# Worker crash / hang injection helpers
+
+
+def _fail_once_then_delegate(sentinel, index, failure):
+    """An ``_execute_unit`` stand-in that fails unit ``index`` exactly once."""
+    real = campaign._execute_unit
+
+    def patched(args):
+        idx, spec = args
+        if idx == index and not sentinel.exists():
+            sentinel.touch()
+            failure()
+        return real(args)
+
+    return patched
+
+
+def test_crashed_worker_is_retried_and_campaign_completes(tmp_path, monkeypatch):
+    sentinel = tmp_path / "crashed"
+    monkeypatch.setattr(
+        campaign, "_execute_unit",
+        _fail_once_then_delegate(sentinel, 0, lambda: os._exit(17)),
+    )
+    result = run_campaign(
+        tiny_grid(2), jobs=2,
+        policy=RetryPolicy(max_retries=2, backoff=0.01),
+    )
+    assert sentinel.exists()
+    assert result.complete
+    assert [r.run.index for r in result.records] == [0, 1]
+
+
+def test_persistent_crash_is_quarantined_not_fatal(tmp_path, monkeypatch):
+    def patched(args):
+        idx, spec = args
+        if idx == 0:
+            os._exit(23)
+        return campaign.__dict__["__real_execute"](args)
+
+    monkeypatch.setitem(campaign.__dict__, "__real_execute", campaign._execute_unit)
+    monkeypatch.setattr(campaign, "_execute_unit", patched)
+    result = run_campaign(
+        tiny_grid(2), jobs=2,
+        policy=RetryPolicy(max_retries=1, backoff=0.01),
+    )
+    assert not result.complete
+    assert len(result.failed) == 1
+    failure = result.failed[0]
+    assert failure.run.index == 0
+    assert failure.attempts == 2  # first try + one retry
+    assert "exit code 23" in failure.error
+    assert failure.to_dict()["error"] == failure.error
+    # the healthy unit still produced its record
+    assert [r.run.index for r in result.records] == [1]
+
+
+def test_hung_worker_hits_the_watchdog_then_retry_succeeds(tmp_path, monkeypatch):
+    sentinel = tmp_path / "hung"
+    monkeypatch.setattr(
+        campaign, "_execute_unit",
+        _fail_once_then_delegate(sentinel, 0, lambda: time.sleep(3600)),
+    )
+    result = run_campaign(
+        tiny_grid(), jobs=2,
+        policy=RetryPolicy(task_timeout=1.0, max_retries=1, backoff=0.01),
+    )
+    assert sentinel.exists()
+    assert result.complete
+
+
+def test_permanent_hang_is_quarantined_with_a_timeout_error(monkeypatch):
+    def patched(args):
+        time.sleep(3600)
+
+    monkeypatch.setattr(campaign, "_execute_unit", patched)
+    result = run_campaign(
+        tiny_grid(), jobs=2,
+        policy=RetryPolicy(task_timeout=0.5, max_retries=0, backoff=0.01),
+    )
+    assert len(result.failed) == 1
+    assert "timed out" in result.failed[0].error
+    assert result.failed[0].attempts == 1
+    assert result.records == []
+
+
+def test_in_process_exception_is_quarantined(monkeypatch):
+    def patched(args):
+        raise RuntimeError("simulated defect")
+
+    monkeypatch.setattr(campaign, "_execute_unit", patched)
+    result = run_campaign(tiny_grid(), jobs=1,
+                          policy=RetryPolicy(max_retries=1))
+    assert len(result.failed) == 1
+    assert "simulated defect" in result.failed[0].error
+    assert result.failed[0].attempts == 2
+
+
+def test_worker_exception_message_survives_the_pipe(monkeypatch):
+    def patched(args):
+        raise ValueError("broke in the child")
+
+    monkeypatch.setattr(campaign, "_execute_unit", patched)
+    result = run_campaign(
+        tiny_grid(), jobs=2,
+        policy=RetryPolicy(max_retries=0, backoff=0.01),
+    )
+    assert len(result.failed) == 1
+    assert "ValueError: broke in the child" in result.failed[0].error
+
+
+def test_crash_once_env_hook(tmp_path, monkeypatch):
+    sentinel = tmp_path / "env-crash"
+    monkeypatch.setenv(campaign.CRASH_ONCE_ENV, f"{sentinel}:0")
+    result = run_campaign(
+        tiny_grid(), jobs=2,
+        policy=RetryPolicy(max_retries=2, backoff=0.01),
+    )
+    assert sentinel.exists()  # the crash really happened...
+    assert result.complete    # ...and the retry healed it
+
+
+def test_quarantined_units_do_not_poison_the_cache(tmp_path, monkeypatch):
+    def patched(args):
+        raise RuntimeError("never completes")
+
+    monkeypatch.setattr(campaign, "_execute_unit", patched)
+    cache = CampaignCache(tmp_path / "cache")
+    result = run_campaign(tiny_grid(), jobs=1, cache=cache,
+                          policy=RetryPolicy(max_retries=0))
+    assert len(result.failed) == 1
+    assert len(cache_files(cache.root)) == 0
+
+    # with the defect gone, the same campaign runs clean and caches
+    monkeypatch.undo()
+    healed = run_campaign(tiny_grid(), jobs=1, cache=cache)
+    assert healed.complete and healed.executed == 1
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(task_timeout=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=-0.1)
+    assert RetryPolicy(backoff=0.25).retry_delay(3) == 1.0

@@ -1,0 +1,144 @@
+"""Edge-case coverage for repro.phy.error_models: boundary rates, state
+persistence of the Gilbert–Elliott chain, and determinism under the derived
+seed scheme the simulator's RNG registry uses."""
+
+import random
+
+import pytest
+
+from repro.phy.error_models import (
+    GilbertElliott,
+    NoError,
+    PacketErrorRate,
+    UniformBitError,
+)
+from repro.sim.rng import derive_seed
+
+
+FRAME = 1460
+
+
+# ---------------------------------------------------------------------------
+# Rate boundaries
+
+
+def test_no_error_never_corrupts():
+    rng = random.Random(1)
+    assert not any(NoError().frame_corrupted(rng, FRAME, t) for t in range(100))
+
+
+def test_per_zero_never_corrupts_and_draws_nothing():
+    rng = random.Random(1)
+    state = rng.getstate()
+    model = PacketErrorRate(0.0)
+    assert not any(model.frame_corrupted(rng, FRAME, t) for t in range(100))
+    # the zero-rate shortcut must not consume RNG draws: a zero-loss run's
+    # random stream is byte-identical to one with no error model at all
+    assert rng.getstate() == state
+
+
+def test_per_one_always_corrupts():
+    rng = random.Random(1)
+    model = PacketErrorRate(1.0)
+    assert all(model.frame_corrupted(rng, FRAME, t) for t in range(100))
+
+
+def test_ber_zero_never_corrupts_and_draws_nothing():
+    rng = random.Random(1)
+    state = rng.getstate()
+    model = UniformBitError(0.0)
+    assert not any(model.frame_corrupted(rng, FRAME, t) for t in range(100))
+    assert rng.getstate() == state
+
+
+def test_high_ber_corrupts_every_large_frame():
+    # P(ok) = (1 - 0.5)^(8*1460) is indistinguishable from zero.
+    rng = random.Random(1)
+    model = UniformBitError(0.5)
+    assert all(model.frame_corrupted(rng, FRAME, t) for t in range(50))
+
+
+@pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+def test_ber_bounds_validated(bad):
+    with pytest.raises(ValueError):
+        UniformBitError(bad)
+
+
+@pytest.mark.parametrize("bad", [-0.1, 1.01])
+def test_per_bounds_validated(bad):
+    with pytest.raises(ValueError):
+        PacketErrorRate(bad)
+
+
+def test_gilbert_elliott_dwell_times_validated():
+    with pytest.raises(ValueError):
+        GilbertElliott(mean_good=0.0)
+    with pytest.raises(ValueError):
+        GilbertElliott(mean_bad=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Gilbert–Elliott state persistence
+
+
+def test_ge_state_persists_across_calls():
+    """The chain's state boundary only ever moves forward, and identical
+    (rng, time) sequences walk through identical state trajectories."""
+    model = GilbertElliott(ber_good=0.0, ber_bad=0.5,
+                           mean_good=0.5, mean_bad=0.5)
+    rng = random.Random(3)
+    boundaries = []
+    for t in [0.0, 0.3, 0.9, 2.0, 2.0, 7.5]:
+        model.frame_corrupted(rng, FRAME, t)
+        boundaries.append(model._state_until)
+        assert model._state_until > t
+    assert boundaries == sorted(boundaries)
+
+
+def test_ge_same_rng_same_trajectory():
+    times = [i * 0.11 for i in range(200)]
+
+    def run(seed):
+        model = GilbertElliott(ber_good=0.0, ber_bad=0.3,
+                               mean_good=0.4, mean_bad=0.2)
+        rng = random.Random(seed)
+        return [model.frame_corrupted(rng, FRAME, t) for t in times]
+
+    assert run(9) == run(9)
+    assert run(9) != run(10)
+
+
+def test_ge_good_state_with_zero_ber_is_lossless():
+    model = GilbertElliott(ber_good=0.0, ber_bad=0.0,
+                           mean_good=1.0, mean_bad=1.0)
+    rng = random.Random(5)
+    assert not any(
+        model.frame_corrupted(rng, FRAME, i * 0.1) for i in range(300)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Determinism under derived seeds
+
+
+def test_per_identical_under_equal_derived_seeds():
+    """Two runs that derive the phy.error stream from the same master seed
+    see the identical corruption sequence — the property chaos replays and
+    manifest verification rely on."""
+    model = PacketErrorRate(0.3)
+
+    def sequence(master):
+        rng = random.Random(derive_seed(master, "phy.error"))
+        return [model.frame_corrupted(rng, FRAME, t) for t in range(500)]
+
+    assert sequence(1) == sequence(1)
+    assert sequence(1) != sequence(2)
+
+
+def test_stream_names_decorrelate_draws():
+    a = random.Random(derive_seed(1, "phy.error"))
+    b = random.Random(derive_seed(1, "faults.plan"))
+    model = PacketErrorRate(0.5)
+    seq_a = [model.frame_corrupted(a, FRAME, t) for t in range(200)]
+    seq_b = [model.frame_corrupted(b, FRAME, t) for t in range(200)]
+    assert seq_a != seq_b
