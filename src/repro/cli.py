@@ -28,6 +28,7 @@ from .core.drai import DRAI_TABLE, apply_drai
 from .experiments import (
     PAPER_VARIANTS,
     CampaignCache,
+    POOL_MODES,
     RetryPolicy,
     ScenarioConfig,
     SweepConfig,
@@ -156,6 +157,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     grid = chain_grid(args.variants, args.hops, config=config)
     total_runs = len(grid) * args.replications
+    jobs = args.workers if args.workers is not None else args.jobs
 
     def report(record, done, total):
         run = record.run
@@ -169,7 +171,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     print(
         f"campaign: {len(grid)} scenarios x {args.replications} replications "
-        f"= {total_runs} runs, jobs={args.jobs}, "
+        f"= {total_runs} runs, pool={args.pool_mode} workers={jobs}, "
         f"cache={'off' if cache is None else args.cache_dir}"
     )
     started = time.time()
@@ -182,10 +184,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         grid,
         replications=args.replications,
         base_seed=args.seed,
-        jobs=args.jobs,
+        jobs=jobs,
         cache=cache,
         progress=report if not args.quiet else None,
         policy=policy,
+        pool_mode=args.pool_mode,
     )
     elapsed = time.time() - started
 
@@ -402,6 +405,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="independent replications per scenario")
     campaign.add_argument("--loss", type=float, default=0.0,
                           help="per-frame random loss probability")
+    campaign.add_argument("--pool-mode", choices=list(POOL_MODES), default="warm",
+                          help="execution backend: 'warm' (default) keeps a "
+                               "persistent pool of workers and streams batches "
+                               "to them; 'per-attempt' forks a fresh process "
+                               "per unit attempt (slower, but maximum isolation "
+                               "— prefer it when a unit corrupts interpreter "
+                               "state, e.g. leaks globals or C-level state, and "
+                               "a warm worker must not carry that into the next "
+                               "unit); 'inproc' runs everything in this process "
+                               "(no isolation, no timeouts; best for debugging)")
+    campaign.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="worker pool size (preferred spelling; "
+                               "overrides --jobs when given)")
     campaign.add_argument("--jobs", type=int, default=os.cpu_count(),
                           help="worker processes (1 = in-process serial)")
     campaign.add_argument("--cache-dir", default="results/cache",

@@ -9,28 +9,55 @@ that grid into a batch workload:
   default ``os.cpu_count()``);
 * every run's master seed is derived from its ``(scenario, replication)``
   key via :func:`repro.sim.rng.derive_run_seed`, so metrics are
-  bit-identical whatever the worker count or execution order;
+  bit-identical whatever the worker count, pool mode, batching, or
+  execution order;
 * completed runs are memoised in a :class:`CampaignCache` — an on-disk
   content-addressed store keyed by the hash of the run's full configuration
   plus the code schema version — so re-running a campaign only executes
   scenarios whose parameters (or the simulator itself) changed.
 
-Self-healing: each worker attempt runs under a supervisor with an optional
-wall-clock watchdog (:class:`RetryPolicy.task_timeout`).  A worker that
-crashes, is killed, or hangs past its deadline is retried with exponential
-backoff up to :class:`RetryPolicy.max_retries` times; a unit that exhausts
-its retries is *quarantined* — recorded in ``CampaignResult.failed`` — and
-the rest of the campaign completes normally.  Cache entries carry a content
-checksum; a truncated or bit-flipped entry is detected on read, reported via
-:class:`CacheCorruptionWarning`, evicted, and transparently recomputed.
+Execution backends (``pool_mode``):
+
+* ``"warm"`` (default) — a persistent pool of long-lived supervised
+  workers.  Each worker is forked once, pulls batches of units over its own
+  duplex pipe, and streams one result message back per unit as it
+  completes, so interpreter startup and module import are amortised over
+  the whole campaign instead of being paid per attempt.
+* ``"per-attempt"`` — the PR-4 model: one freshly forked process per
+  attempt.  Slower on short runs, but every attempt gets a pristine
+  interpreter; prefer it when hunting state-leak bugs or when a unit is
+  suspected of corrupting interpreter-global state.
+* ``"inproc"`` — everything in the coordinating process, no forks, no
+  watchdog.  The debugging backend (breakpoints and monkeypatches apply
+  directly).
+
+Self-healing (``warm`` and ``per-attempt``): each attempt runs under a
+supervisor with an optional wall-clock watchdog
+(:class:`RetryPolicy.task_timeout`).  A worker that crashes, is killed, or
+hangs past its deadline is terminated — and, in warm mode, transparently
+replaced by a freshly forked worker — while the unit is retried with
+exponential backoff up to :class:`RetryPolicy.max_retries` times; a unit
+that exhausts its retries is *quarantined* — recorded in
+``CampaignResult.failed`` — and the rest of the campaign completes
+normally.  Units that were merely queued behind a crashed/hung unit on the
+same warm worker are requeued without being charged an attempt.  Cache
+entries carry a content checksum; a truncated or bit-flipped entry is
+detected on read, reported via :class:`CacheCorruptionWarning`, evicted,
+and transparently recomputed.  Cache hits short-circuit before dispatch:
+a fully cached campaign never starts a worker at all.
 
 Determinism contract: ``run_campaign(grid)`` is a pure function of the grid
-and the campaign seed.  The property tests in
-``tests/props/test_campaign_determinism.py`` hold this module to it.
+and the campaign seed — pool mode included.  Per-unit seeds are derived in
+:func:`plan_campaign` before any dispatch, so which warm worker executes a
+unit (and in which batch) is invisible in the results.  The property tests
+in ``tests/props/test_campaign_determinism.py`` and the pool-mode
+byte-identity tests in ``tests/integration/test_pool_modes.py`` hold this
+module to it.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing
 import multiprocessing.connection
@@ -51,6 +78,14 @@ PathLike = Union[str, Path]
 #: the worker executing unit ``index`` hard-exit (``os._exit``) once — the
 #: sentinel file marks the crash as spent so the retry succeeds.
 CRASH_ONCE_ENV = "REPRO_CAMPAIGN_CRASH_ONCE"
+
+#: Execution backends accepted by :func:`run_campaign`'s ``pool_mode``.
+POOL_MODES = ("warm", "per-attempt", "inproc")
+
+#: Upper bound on how many units one warm-pool dispatch hands a worker.
+#: Small enough that a late straggler batch cannot serialise the tail of a
+#: campaign, large enough to amortise the pipe round-trip on tiny units.
+WARM_BATCH_MAX = 4
 
 
 class CacheCorruptionWarning(UserWarning):
@@ -449,6 +484,259 @@ def _terminate(process) -> None:
         process.join()
 
 
+# ---------------------------------------------------------------------------
+# Warm-worker pool
+
+
+#: Wire form of one schedulable unit, as shipped to a warm worker inside a
+#: ``("batch", [unit, ...])`` message: ``(index, spec)``.
+_CampaignUnit = Tuple[int, RunSpec]
+
+
+def _warm_worker_main(conn) -> None:
+    """Long-lived warm-worker loop: pull unit batches, stream results back.
+
+    One ``("ok", index, metrics, manifest)`` or ``("err", index, message)``
+    reply is sent per unit *as it completes*, so the supervisor can reset
+    its per-unit watchdog between units of the same batch and attribute a
+    crash to exactly the unit that was executing.  Routes through
+    :func:`_execute_unit` (not ``execute_run``) so test monkeypatches —
+    inherited across ``fork`` at pool start — and the :data:`CRASH_ONCE_ENV`
+    hook apply to warm execution too.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] != "batch":  # ("stop",) — orderly shutdown
+            break
+        for index, spec in message[1]:
+            try:
+                idx, metrics, manifest = _execute_unit((index, spec))
+                reply = ("ok", idx, metrics, manifest)
+            except BaseException as exc:  # a worker must never die silently
+                reply = ("err", index, f"{type(exc).__name__}: {exc}")
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+                return
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+@dataclass
+class _WarmWorker:
+    """Supervisor bookkeeping for one persistent worker process.
+
+    ``batch`` lists the (run, attempt) pairs currently dispatched to the
+    worker, in execution order: the head is the unit executing right now,
+    the tail is queued behind it in the worker's loop.  ``deadline`` is the
+    head unit's watchdog cutoff (reset every time a result arrives).
+    """
+
+    process: Any
+    conn: Any
+    batch: List[Tuple[CampaignRun, int]] = field(default_factory=list)
+    deadline: Optional[float] = None
+
+    @property
+    def idle(self) -> bool:
+        return not self.batch
+
+
+def _run_warm_pool(
+    pending: Sequence[CampaignRun],
+    jobs: int,
+    policy: RetryPolicy,
+    store: Callable[[CampaignRun, Dict[str, Any], Optional[Dict[str, Any]]], None],
+    quarantine: Callable[[FailedRun], None],
+) -> None:
+    """Run ``pending`` on a persistent pool of ``jobs`` warm workers.
+
+    Workers are forked once and reused: each pulls :data:`_CampaignUnit`
+    batches over its own duplex pipe and streams per-unit results back.
+    The supervisor loop keeps every PR-4 robustness guarantee:
+
+    * a worker that dies (crash, ``os._exit``, kill) is detected via pipe
+      EOF; the unit it was executing is charged a failed attempt, the rest
+      of its batch is requeued un-charged, and a fresh worker is forked to
+      keep the pool at strength;
+    * a worker whose head unit overstays ``policy.task_timeout`` is killed
+      by the watchdog and replaced the same way;
+    * failed attempts retry with exponential backoff (the backoff clock
+      lives in the ready-queue, so a waiting retry never blocks a worker);
+    * units that exhaust their retries are quarantined and the campaign
+      completes without them.
+    """
+    ctx = _pool_context()
+    target_workers = max(1, min(jobs, len(pending)))
+    # (ready_time, run, attempt) — ready_time is a monotonic timestamp.
+    queue: List[Tuple[float, CampaignRun, int]] = [(0.0, run, 1) for run in pending]
+    workers: Dict[Any, _WarmWorker] = {}  # conn -> worker
+
+    def spawn() -> None:
+        parent, child = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_warm_worker_main, args=(child,), daemon=True
+        )
+        process.start()
+        child.close()
+        workers[parent] = _WarmWorker(process=process, conn=parent)
+
+    def handle_failure(run: CampaignRun, attempt: int, error: str) -> None:
+        if attempt <= policy.max_retries:
+            ready = time.monotonic() + policy.retry_delay(attempt)
+            queue.append((ready, run, attempt + 1))
+        else:
+            quarantine(FailedRun(run=run, error=error, attempts=attempt))
+
+    def requeue_innocent(worker: _WarmWorker) -> None:
+        """Units queued behind a failed head unit go back un-charged."""
+        queue.extend((0.0, run, attempt) for run, attempt in worker.batch)
+        worker.batch = []
+
+    def retire(worker: _WarmWorker, kill: bool) -> None:
+        workers.pop(worker.conn)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if kill:
+            _terminate(worker.process)
+        else:
+            worker.process.join()
+
+    def on_worker_death(worker: _WarmWorker) -> None:
+        retire(worker, kill=False)
+        code = worker.process.exitcode
+        if worker.batch:
+            run, attempt = worker.batch.pop(0)
+            handle_failure(run, attempt, f"worker crashed (exit code {code})")
+            requeue_innocent(worker)
+
+    def on_worker_timeout(worker: _WarmWorker) -> None:
+        retire(worker, kill=True)
+        run, attempt = worker.batch.pop(0)
+        handle_failure(
+            run, attempt, f"timed out after {policy.task_timeout:g}s wall clock"
+        )
+        requeue_innocent(worker)
+
+    def on_message(worker: _WarmWorker, message: Tuple[Any, ...]) -> None:
+        run, attempt = worker.batch.pop(0)
+        now = time.monotonic()
+        worker.deadline = (
+            now + policy.task_timeout
+            if worker.batch and policy.task_timeout is not None
+            else None
+        )
+        if message[0] == "ok":
+            store(run, message[2], message[3])
+        else:
+            handle_failure(run, attempt, message[2])
+
+    def dispatch() -> None:
+        """Hand ready units to idle workers, WARM_BATCH_MAX at most each."""
+        idle = [w for w in workers.values() if w.idle]
+        if not idle:
+            return
+        now = time.monotonic()
+        ready: List[Tuple[CampaignRun, int]] = []
+        i = 0
+        while i < len(queue):
+            if queue[i][0] <= now:
+                _, run, attempt = queue.pop(i)
+                ready.append((run, attempt))
+            else:
+                i += 1
+        if not ready:
+            return
+        per = max(1, min(WARM_BATCH_MAX, -(-len(ready) // len(idle))))
+        handout = iter(ready)
+        for worker in idle:
+            chunk = list(itertools.islice(handout, per))
+            if not chunk:
+                break
+            worker.batch = chunk
+            worker.deadline = (
+                now + policy.task_timeout if policy.task_timeout is not None else None
+            )
+            try:
+                worker.conn.send(
+                    ("batch", [(run.index, run.spec) for run, _ in chunk])
+                )
+            except (BrokenPipeError, OSError):
+                # Death noticed mid-send: the worker never received the
+                # batch, so nothing was executing — requeue the whole chunk
+                # un-charged and let the wait loop reap the (now idle)
+                # corpse without blaming the head unit.
+                requeue_innocent(worker)
+        queue.extend((0.0, run, attempt) for run, attempt in handout)
+
+    for _ in range(target_workers):
+        spawn()
+
+    try:
+        while queue or any(not w.idle for w in workers.values()):
+            # Keep the pool at strength: crashed workers are replaced as
+            # long as there is (or will be) work for them.
+            while len(workers) < target_workers and (
+                queue or any(not w.idle for w in workers.values())
+            ):
+                spawn()
+            dispatch()
+            now = time.monotonic()
+            timeout = 0.5
+            deadlines = [
+                w.deadline for w in workers.values() if w.deadline is not None
+            ]
+            if deadlines:
+                timeout = min(timeout, max(0.0, min(deadlines) - now))
+            # Only FUTURE ready times (backoff expiries) bound the wait:
+            # ready-now units are picked up by ``dispatch()`` as soon as a
+            # worker goes idle, which always coincides with its connection
+            # becoming readable.  Letting a ready-now queue clamp the
+            # timeout to zero would busy-spin the coordinator and starve
+            # the workers of CPU while every worker is mid-batch.
+            future_ready = [r for r, _, _ in queue if r > now]
+            if future_ready:
+                timeout = min(timeout, max(0.0, min(future_ready) - now))
+            ready_conns = multiprocessing.connection.wait(
+                list(workers), timeout=timeout
+            )
+            for conn in ready_conns:
+                worker = workers[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    on_worker_death(worker)
+                else:
+                    on_message(worker, message)
+            now = time.monotonic()
+            for worker in [
+                w for w in workers.values()
+                if w.deadline is not None and now >= w.deadline
+            ]:
+                on_worker_timeout(worker)
+    finally:
+        for worker in list(workers.values()):
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                _terminate(worker.process)
+        workers.clear()
+
+
 def _run_supervised(
     pending: Sequence[CampaignRun],
     jobs: int,
@@ -534,8 +822,12 @@ def _run_supervised(
         deadlines = [e.deadline for e in active.values() if e.deadline is not None]
         if deadlines:
             timeout = min(timeout, max(0.0, min(deadlines) - now))
-        if queue:
-            timeout = min(timeout, max(0.0, min(r for r, _, _ in queue) - now))
+        # Future ready times only (see the warm-pool loop): a ready-now
+        # backlog just means every slot is busy, and ``launch_ready`` runs
+        # again as soon as a worker's connection signals completion.
+        future_ready = [r for r, _, _ in queue if r > now]
+        if future_ready:
+            timeout = min(timeout, max(0.0, min(future_ready) - now))
         ready_conns = multiprocessing.connection.wait(list(active), timeout=timeout)
         for conn in ready_conns:
             reap(conn, timed_out=False)
@@ -558,23 +850,35 @@ def run_campaign(
     cache: Optional[CampaignCache] = None,
     progress: Optional[ProgressFn] = None,
     policy: Optional[RetryPolicy] = None,
+    pool_mode: str = "warm",
 ) -> CampaignResult:
     """Run every ``(spec, replication)`` in ``grid``; return ordered records.
 
     ``jobs`` is the worker-process count (default ``os.cpu_count()``; ``1``
     with no watchdog executes in-process).  ``cache`` enables the on-disk
-    memo: hits skip execution entirely, misses are written back after their
-    run completes.  ``progress`` is invoked once per finished run — from the
-    coordinating process, in completion order — with
-    ``(record, done_count, total_count)``.  ``policy`` configures the
-    self-healing supervisor (watchdog timeout, retries, backoff); units that
-    exhaust their retries land in ``CampaignResult.failed`` and the campaign
-    still completes.
+    memo: hits skip execution entirely — they are resolved before any
+    worker is dispatched, so a fully cached campaign never starts a pool.
+    ``progress`` is invoked once per finished run — from the coordinating
+    process, in completion order — with ``(record, done_count,
+    total_count)``.  ``policy`` configures the self-healing supervisor
+    (watchdog timeout, retries, backoff); units that exhaust their retries
+    land in ``CampaignResult.failed`` and the campaign still completes.
+
+    ``pool_mode`` selects the execution backend (see the module docstring):
+    ``"warm"`` (persistent warm-worker pool, the default),
+    ``"per-attempt"`` (one forked process per attempt), or ``"inproc"``
+    (no forks, no watchdog).  ``jobs == 1`` with no watchdog short-circuits
+    to in-process execution in every mode — a single-slot pool buys nothing
+    over running the units directly.
 
     The returned records are always in grid order, and their metrics are
-    byte-identical for any ``jobs`` value: seeds come from
-    :func:`plan_campaign`, never from scheduling.
+    byte-identical for any ``jobs`` value and any ``pool_mode``: seeds come
+    from :func:`plan_campaign`, never from scheduling.
     """
+    if pool_mode not in POOL_MODES:
+        raise ValueError(
+            f"unknown pool_mode {pool_mode!r}; expected one of {POOL_MODES}"
+        )
     runs = plan_campaign(grid, replications=replications, base_seed=base_seed)
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
@@ -613,7 +917,9 @@ def run_campaign(
         finish(RunRecord(run=run, metrics=metrics, cached=False,
                          manifest=manifest))
 
-    if pending and jobs == 1 and policy.task_timeout is None:
+    if pending and (
+        pool_mode == "inproc" or (jobs == 1 and policy.task_timeout is None)
+    ):
         # In-process fast path: no fork, no pipes.  Exceptions are retried
         # without backoff (an in-process failure is deterministic; sleeping
         # between identical attempts buys nothing) and then quarantined.
@@ -634,8 +940,10 @@ def run_campaign(
                     break
                 store(run, metrics, manifest)
                 break
-    elif pending:
+    elif pending and pool_mode == "per-attempt":
         _run_supervised(pending, jobs, policy, store, quarantine)
+    elif pending:
+        _run_warm_pool(pending, jobs, policy, store, quarantine)
 
     failed.sort(key=lambda f: f.run.index)
     return CampaignResult(

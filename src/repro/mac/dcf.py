@@ -20,7 +20,7 @@ paper's evaluation (and TCP Muzha's design) revolves around.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Optional, Protocol
+from typing import Dict, Optional, Protocol, Tuple
 
 from ..phy.channel import WirelessChannel
 from ..phy.radio import Radio
@@ -105,6 +105,18 @@ class DcfMac:
         self._cts_time = phy.control_tx_time(p.cts_bytes)
         self._ack_time = phy.control_tx_time(p.ack_bytes)
         self._eifs = p.sifs + self._ack_time + p.difs
+
+        # Interned per-hop forwarding frames.  RTS and ACK frames are fully
+        # determined by (next_hop, data size) / peer respectively and are
+        # never mutated after construction, so the same frame object is
+        # reused for every retransmission and every later packet along the
+        # same hop instead of being rebuilt per attempt.  Tx-time memos
+        # cache the (pure) PHY timing functions by frame size — same
+        # floats, computed once.
+        self._rts_cache: Dict[Tuple[int, int], MacFrame] = {}
+        self._ack_cache: Dict[int, MacFrame] = {}
+        self._data_time: Dict[int, float] = {}
+        self._control_time: Dict[int, float] = {}
 
         self._rng = sim.stream(f"mac.backoff.{address}")
         self._down = False
@@ -323,17 +335,30 @@ class DcfMac:
     def _data_frame_bytes(self, entry: QueuedPacket) -> int:
         return entry.size_bytes + self.params.data_header_bytes
 
+    def _data_tx_time(self, size_bytes: int) -> float:
+        time = self._data_time.get(size_bytes)
+        if time is None:
+            time = self.channel.phy.data_tx_time(size_bytes)
+            self._data_time[size_bytes] = time
+        return time
+
     def _build_rts(self, entry: QueuedPacket) -> MacFrame:
-        phy = self.channel.phy
-        data_time = phy.data_tx_time(self._data_frame_bytes(entry))
-        duration = 3 * self.params.sifs + self._cts_time + data_time + self._ack_time
-        return MacFrame(
-            FrameKind.RTS,
-            src=self.address,
-            dst=entry.next_hop,
-            size_bytes=self.params.rts_bytes,
-            duration=duration,
-        )
+        key = (entry.next_hop, entry.size_bytes)
+        frame = self._rts_cache.get(key)
+        if frame is None:
+            data_time = self._data_tx_time(self._data_frame_bytes(entry))
+            duration = (
+                3 * self.params.sifs + self._cts_time + data_time + self._ack_time
+            )
+            frame = MacFrame(
+                FrameKind.RTS,
+                src=self.address,
+                dst=entry.next_hop,
+                size_bytes=self.params.rts_bytes,
+                duration=duration,
+            )
+            self._rts_cache[key] = frame
+        return frame
 
     def _build_data_frame(self, entry: QueuedPacket) -> MacFrame:
         broadcast = entry.next_hop == BROADCAST
@@ -351,11 +376,14 @@ class DcfMac:
     # -- transmission ------------------------------------------------------------------
 
     def _tx_time(self, frame: MacFrame) -> float:
-        phy = self.channel.phy
-        if frame.kind is FrameKind.DATA and not frame.is_broadcast:
-            return phy.data_tx_time(frame.size_bytes)
+        if frame.kind is FrameKind.DATA and frame.dst != BROADCAST:
+            return self._data_tx_time(frame.size_bytes)
         # Control frames and broadcast data go out at the basic rate.
-        return phy.control_tx_time(frame.size_bytes)
+        time = self._control_time.get(frame.size_bytes)
+        if time is None:
+            time = self.channel.phy.control_tx_time(frame.size_bytes)
+            self._control_time[frame.size_bytes] = time
+        return time
 
     def _send_frame(self, frame: MacFrame) -> None:
         tx_time = self._tx_time(frame)
@@ -447,13 +475,16 @@ class DcfMac:
         self._schedule_response(self._build_data_frame(self._current))
 
     def _handle_data(self, frame: MacFrame) -> None:
-        ack = MacFrame(
-            FrameKind.ACK,
-            src=self.address,
-            dst=frame.src,
-            size_bytes=self.params.ack_bytes,
-            duration=0.0,
-        )
+        ack = self._ack_cache.get(frame.src)
+        if ack is None:
+            ack = MacFrame(
+                FrameKind.ACK,
+                src=self.address,
+                dst=frame.src,
+                size_bytes=self.params.ack_bytes,
+                duration=0.0,
+            )
+            self._ack_cache[frame.src] = ack
         self._schedule_response(ack)
         if self._rx_dedup.get(frame.src) == frame.frame_id:
             self.counters.duplicates_rx += 1

@@ -8,12 +8,17 @@ path-minimum rate-adjustment recommendation (the MRAI).
 
 Non-Muzha traffic leaves ``avbw_s`` as ``None`` — the option is absent, so
 routers skip it, matching the "protocol independence" argument of §4.4.
+
+``Packet`` is a ``__slots__`` class rather than a dataclass: one instance
+is allocated per segment per flow (plus one per flood re-broadcast), so the
+per-instance ``__dict__`` and generated-``__init__`` overhead of a
+dataclass is measurable across a campaign.  :meth:`aged_copy` additionally
+bypasses ``__init__`` entirely — the flood fast path.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 #: Network-layer broadcast address (mirrors the MAC broadcast).
@@ -28,28 +33,56 @@ DEFAULT_TTL = 64
 _uid_counter = itertools.count(1)
 
 
-@dataclass
 class Packet:
     """An IP datagram travelling through the simulated network."""
 
-    src: int
-    dst: int
-    protocol: str
-    size_bytes: int
-    payload: object = field(repr=False, default=None)
-    ttl: int = DEFAULT_TTL
-    #: AVBW-S IP option: path-minimum DRAI so far, or None when absent.
-    avbw_s: Optional[int] = None
-    uid: int = field(default_factory=lambda: next(_uid_counter))
+    __slots__ = (
+        "src", "dst", "protocol", "size_bytes", "payload", "ttl", "avbw_s", "uid"
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        protocol: str,
+        size_bytes: int,
+        payload: object = None,
+        ttl: int = DEFAULT_TTL,
+        avbw_s: Optional[int] = None,
+        uid: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.ttl = ttl
+        #: AVBW-S IP option: path-minimum DRAI so far, or None when absent.
+        self.avbw_s = avbw_s
+        self.uid = uid if uid is not None else next(_uid_counter)
+
+    def __repr__(self) -> str:  # payload elided, as before the slots change
+        return (
+            f"Packet(src={self.src}, dst={self.dst}, "
+            f"protocol={self.protocol!r}, size_bytes={self.size_bytes}, "
+            f"ttl={self.ttl}, avbw_s={self.avbw_s}, uid={self.uid})"
+        )
 
     def aged_copy(self) -> "Packet":
-        """Copy with decremented TTL (used when re-broadcasting floods)."""
-        return Packet(
-            src=self.src,
-            dst=self.dst,
-            protocol=self.protocol,
-            size_bytes=self.size_bytes,
-            payload=self.payload,
-            ttl=self.ttl - 1,
-            avbw_s=self.avbw_s,
-        )
+        """Copy with decremented TTL (used when re-broadcasting floods).
+
+        Fast path: allocates via ``__new__`` and assigns slots directly,
+        skipping argument defaulting — this runs once per node per flood,
+        which on a wide topology is the hottest packet-construction site
+        after the TCP senders themselves.
+        """
+        clone = Packet.__new__(Packet)
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.protocol = self.protocol
+        clone.size_bytes = self.size_bytes
+        clone.payload = self.payload
+        clone.ttl = self.ttl - 1
+        clone.avbw_s = self.avbw_s
+        clone.uid = next(_uid_counter)
+        return clone

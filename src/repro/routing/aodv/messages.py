@@ -1,58 +1,104 @@
-"""AODV control messages (RREQ / RREP / RERR)."""
+"""AODV control messages (RREQ / RREP / RERR).
+
+These are per-event types on the flood path — a single route discovery
+allocates one ``Rreq`` per node per rebroadcast — so, like the packet and
+frame types, they are ``__slots__`` classes with ``__new__``-based
+``hopped()`` fast paths instead of dataclasses.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
-@dataclass
 class Rreq:
     """Route request, flooded toward the destination."""
 
-    orig: int
-    orig_seq: int
-    rreq_id: int
-    dst: int
-    dst_seq: int
-    unknown_dst_seq: bool
-    hop_count: int = 0
+    __slots__ = (
+        "orig", "orig_seq", "rreq_id", "dst", "dst_seq",
+        "unknown_dst_seq", "hop_count",
+    )
+
+    def __init__(
+        self,
+        orig: int,
+        orig_seq: int,
+        rreq_id: int,
+        dst: int,
+        dst_seq: int,
+        unknown_dst_seq: bool,
+        hop_count: int = 0,
+    ) -> None:
+        self.orig = orig
+        self.orig_seq = orig_seq
+        self.rreq_id = rreq_id
+        self.dst = dst
+        self.dst_seq = dst_seq
+        self.unknown_dst_seq = unknown_dst_seq
+        self.hop_count = hop_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Rreq(orig={self.orig}, orig_seq={self.orig_seq}, "
+            f"rreq_id={self.rreq_id}, dst={self.dst}, dst_seq={self.dst_seq}, "
+            f"unknown_dst_seq={self.unknown_dst_seq}, hop_count={self.hop_count})"
+        )
 
     def hopped(self) -> "Rreq":
         """Copy with the hop counter incremented (for rebroadcast)."""
-        return Rreq(
-            orig=self.orig,
-            orig_seq=self.orig_seq,
-            rreq_id=self.rreq_id,
-            dst=self.dst,
-            dst_seq=self.dst_seq,
-            unknown_dst_seq=self.unknown_dst_seq,
-            hop_count=self.hop_count + 1,
-        )
+        clone = Rreq.__new__(Rreq)
+        clone.orig = self.orig
+        clone.orig_seq = self.orig_seq
+        clone.rreq_id = self.rreq_id
+        clone.dst = self.dst
+        clone.dst_seq = self.dst_seq
+        clone.unknown_dst_seq = self.unknown_dst_seq
+        clone.hop_count = self.hop_count + 1
+        return clone
 
 
-@dataclass
 class Rrep:
     """Route reply, unicast back along the reverse path."""
 
-    orig: int
-    dst: int
-    dst_seq: int
-    lifetime: float
-    hop_count: int = 0
+    __slots__ = ("orig", "dst", "dst_seq", "lifetime", "hop_count")
 
-    def hopped(self) -> "Rrep":
-        return Rrep(
-            orig=self.orig,
-            dst=self.dst,
-            dst_seq=self.dst_seq,
-            lifetime=self.lifetime,
-            hop_count=self.hop_count + 1,
+    def __init__(
+        self,
+        orig: int,
+        dst: int,
+        dst_seq: int,
+        lifetime: float,
+        hop_count: int = 0,
+    ) -> None:
+        self.orig = orig
+        self.dst = dst
+        self.dst_seq = dst_seq
+        self.lifetime = lifetime
+        self.hop_count = hop_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Rrep(orig={self.orig}, dst={self.dst}, dst_seq={self.dst_seq}, "
+            f"lifetime={self.lifetime}, hop_count={self.hop_count})"
         )
 
+    def hopped(self) -> "Rrep":
+        clone = Rrep.__new__(Rrep)
+        clone.orig = self.orig
+        clone.dst = self.dst
+        clone.dst_seq = self.dst_seq
+        clone.lifetime = self.lifetime
+        clone.hop_count = self.hop_count + 1
+        return clone
 
-@dataclass
+
 class Rerr:
     """Route error listing now-unreachable destinations."""
 
-    unreachable: List[Tuple[int, int]] = field(default_factory=list)
+    __slots__ = ("unreachable",)
+
+    def __init__(self, unreachable: Optional[List[Tuple[int, int]]] = None) -> None:
+        self.unreachable = unreachable if unreachable is not None else []
+
+    def __repr__(self) -> str:
+        return f"Rerr(unreachable={self.unreachable})"

@@ -92,6 +92,8 @@ class TcpSenderBase:
         self.stats = TcpSenderStats()
         #: (time, cwnd) samples recorded on every cwnd change.
         self.cwnd_trace: List[Tuple[float, float]] = [(sim.now, self.cwnd)]
+        #: Interned per-flow trace topic — formatted once, not per emit.
+        self._trace_topic = f"tcp.{node.node_id}"
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -129,7 +131,7 @@ class TcpSenderBase:
             # Gate before building the field dict (sim.trace discipline).
             if self.sim.trace.active and self.sim.trace.wants("tcp.cwnd"):
                 self.sim.emit(
-                    f"tcp.{self.node.node_id}", "tcp.cwnd",
+                    self._trace_topic, "tcp.cwnd",
                     node=self.node.node_id, port=self.sport,
                     cwnd=value, ssthresh=self.ssthresh,
                 )
@@ -176,7 +178,7 @@ class TcpSenderBase:
             self.stats.retransmits += 1
             if self.sim.trace.active and self.sim.trace.wants("tcp.retransmit"):
                 self.sim.emit(
-                    f"tcp.{self.node.node_id}", "tcp.retransmit",
+                    self._trace_topic, "tcp.retransmit",
                     node=self.node.node_id, port=self.sport, seq=seq,
                 )
             if self._timed_seq == seq:
@@ -236,7 +238,7 @@ class TcpSenderBase:
         self.stats.timeouts += 1
         if self.sim.trace.active and self.sim.trace.wants("tcp.timeout"):
             self.sim.emit(
-                f"tcp.{self.node.node_id}", "tcp.timeout",
+                self._trace_topic, "tcp.timeout",
                 node=self.node.node_id, port=self.sport,
                 seq=self.snd_una, rto=self.rtt.rto,
             )

@@ -7,11 +7,15 @@ the next expected segment).
 
 ``echo_mrai`` is TCP Muzha's feedback channel: the sink copies the AVBW-S
 value (path-minimum DRAI) of the data packet that triggered the ACK.
+
+``TcpSegment`` is a ``__slots__`` class rather than a dataclass: senders
+allocate one per data transmission and receivers one per ACK, so this is a
+per-packet hot-path type (see the allocation-churn notes in
+``net/packet.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 #: TCP + IP header bytes added to every segment.
@@ -21,20 +25,43 @@ TCP_IP_HEADER_BYTES = 40
 DEFAULT_MSS = 1460
 
 
-@dataclass
 class TcpSegment:
     """One TCP segment (data or pure ACK)."""
 
-    kind: str  # "data" | "ack"
-    sport: int
-    dport: int
-    seq: int = 0
-    ack: int = 0
-    payload_bytes: int = 0
-    #: Up to three SACK blocks, each a half-open segment range [start, end).
-    sack_blocks: Tuple[Tuple[int, int], ...] = ()
-    #: Path-minimum DRAI echoed by the receiver (TCP Muzha only).
-    echo_mrai: Optional[int] = None
+    __slots__ = (
+        "kind", "sport", "dport", "seq", "ack", "payload_bytes",
+        "sack_blocks", "echo_mrai",
+    )
+
+    def __init__(
+        self,
+        kind: str,  # "data" | "ack"
+        sport: int,
+        dport: int,
+        seq: int = 0,
+        ack: int = 0,
+        payload_bytes: int = 0,
+        sack_blocks: Tuple[Tuple[int, int], ...] = (),
+        echo_mrai: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq
+        self.ack = ack
+        self.payload_bytes = payload_bytes
+        #: Up to three SACK blocks, each a half-open segment range [start, end).
+        self.sack_blocks = sack_blocks
+        #: Path-minimum DRAI echoed by the receiver (TCP Muzha only).
+        self.echo_mrai = echo_mrai
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpSegment(kind={self.kind!r}, sport={self.sport}, "
+            f"dport={self.dport}, seq={self.seq}, ack={self.ack}, "
+            f"payload_bytes={self.payload_bytes}, "
+            f"sack_blocks={self.sack_blocks}, echo_mrai={self.echo_mrai})"
+        )
 
     @property
     def is_data(self) -> bool:

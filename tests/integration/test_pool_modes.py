@@ -1,0 +1,97 @@
+"""Execution-backend equivalence for the campaign engine.
+
+The warm-worker pool (PR 5) must be a pure performance change: for the
+same grid and base seed, the ``warm``, ``per-attempt``, and ``inproc``
+backends have to produce byte-identical results — same canonical metric
+bytes per (scenario, replication), same campaign fingerprint — because
+every unit's seed is derived in ``plan_campaign`` before dispatch, making
+worker assignment, batching, and completion order invisible.
+
+That contract is checked twice: on a clean grid and on a grid running
+under an injected fault plan (a relay crash mid-transfer), since fault
+injection exercises the RNG-heavy recovery paths where hidden
+cross-worker state would first show up.  Finally, ``verify_manifest``
+must replay pool-produced manifests just as well as in-process ones.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ScenarioConfig,
+    chain_grid,
+    run_campaign,
+    verify_manifest,
+)
+from repro.faults import FaultEvent, FaultPlan
+
+POOL_MODES = ("inproc", "per-attempt", "warm")
+
+
+def clean_grid():
+    config = ScenarioConfig(sim_time=1.0, window=4)
+    return chain_grid(["muzha", "newreno"], [2, 3], config=config)
+
+
+def faulted_grid():
+    plan = FaultPlan(events=(
+        FaultEvent(time=0.3, kind="node_crash", node=1, duration=0.3),
+    ))
+    config = ScenarioConfig(sim_time=1.0, window=4, faults=plan)
+    return chain_grid(["muzha", "newreno"], [2], config=config)
+
+
+def by_identity(result):
+    return {
+        (r.run.scenario, r.run.replication): r.metrics_bytes()
+        for r in result.records
+    }
+
+
+@pytest.fixture(scope="module")
+def inproc_clean():
+    return run_campaign(clean_grid(), replications=2, jobs=1, pool_mode="inproc")
+
+
+@pytest.fixture(scope="module")
+def inproc_faulted():
+    return run_campaign(faulted_grid(), replications=2, jobs=1, pool_mode="inproc")
+
+
+@pytest.mark.parametrize("pool_mode", ["warm", "per-attempt"])
+def test_pool_modes_are_byte_identical_on_a_clean_grid(inproc_clean, pool_mode):
+    pooled = run_campaign(
+        clean_grid(), replications=2, jobs=2, pool_mode=pool_mode
+    )
+    assert pooled.complete
+    assert by_identity(pooled) == by_identity(inproc_clean)
+    assert pooled.fingerprint() == inproc_clean.fingerprint()
+
+
+@pytest.mark.parametrize("pool_mode", ["warm", "per-attempt"])
+def test_pool_modes_are_byte_identical_under_a_fault_plan(
+    inproc_faulted, pool_mode
+):
+    pooled = run_campaign(
+        faulted_grid(), replications=2, jobs=2, pool_mode=pool_mode
+    )
+    assert pooled.complete
+    assert by_identity(pooled) == by_identity(inproc_faulted)
+    assert pooled.fingerprint() == inproc_faulted.fingerprint()
+
+
+def test_warm_pool_manifests_replay_via_verify_manifest(inproc_clean):
+    """Provenance manifests from warm workers pass the strong replay check,
+    and carry the same result digest the in-process backend records."""
+    pooled = run_campaign(clean_grid(), replications=2, jobs=2, pool_mode="warm")
+    record = pooled.records[0]
+    assert record.manifest is not None
+    assert verify_manifest(record.manifest)
+
+    inproc_digests = {
+        (r.run.scenario, r.run.replication): r.manifest["result_digest"]
+        for r in inproc_clean.records
+    }
+    for r in pooled.records:
+        assert r.manifest["result_digest"] == (
+            inproc_digests[(r.run.scenario, r.run.replication)]
+        )

@@ -103,19 +103,45 @@ def _fail_once_then_delegate(sentinel, index, failure):
     return patched
 
 
-def test_crashed_worker_is_retried_and_campaign_completes(tmp_path, monkeypatch):
+@pytest.mark.parametrize("pool_mode", ["warm", "per-attempt"])
+def test_crashed_worker_is_retried_and_campaign_completes(
+    tmp_path, monkeypatch, pool_mode
+):
     sentinel = tmp_path / "crashed"
     monkeypatch.setattr(
         campaign, "_execute_unit",
         _fail_once_then_delegate(sentinel, 0, lambda: os._exit(17)),
     )
     result = run_campaign(
-        tiny_grid(2), jobs=2,
+        tiny_grid(2), jobs=2, pool_mode=pool_mode,
         policy=RetryPolicy(max_retries=2, backoff=0.01),
     )
     assert sentinel.exists()
     assert result.complete
     assert [r.run.index for r in result.records] == [0, 1]
+
+
+def test_warm_worker_crash_mid_batch_replacement_finishes_the_batch(
+    tmp_path, monkeypatch
+):
+    """A warm worker dying partway through its batch must not lose the
+    batch-mates queued behind the crash: they are requeued un-charged and a
+    replacement worker (plus the retry of the crashed unit) finishes them."""
+    sentinel = tmp_path / "mid-batch"
+    # 2 scenarios x 4 replications = 8 units; with jobs=2 the first worker
+    # is handed units 0-3 as one batch.  Unit 1 crashes after unit 0 has
+    # already streamed its result back.
+    monkeypatch.setattr(
+        campaign, "_execute_unit",
+        _fail_once_then_delegate(sentinel, 1, lambda: os._exit(31)),
+    )
+    result = run_campaign(
+        tiny_grid(2), replications=4, jobs=2, pool_mode="warm",
+        policy=RetryPolicy(max_retries=2, backoff=0.01),
+    )
+    assert sentinel.exists()
+    assert result.complete
+    assert [r.run.index for r in result.records] == list(range(8))
 
 
 def test_persistent_crash_is_quarantined_not_fatal(tmp_path, monkeypatch):
@@ -142,14 +168,17 @@ def test_persistent_crash_is_quarantined_not_fatal(tmp_path, monkeypatch):
     assert [r.run.index for r in result.records] == [1]
 
 
-def test_hung_worker_hits_the_watchdog_then_retry_succeeds(tmp_path, monkeypatch):
+@pytest.mark.parametrize("pool_mode", ["warm", "per-attempt"])
+def test_hung_worker_hits_the_watchdog_then_retry_succeeds(
+    tmp_path, monkeypatch, pool_mode
+):
     sentinel = tmp_path / "hung"
     monkeypatch.setattr(
         campaign, "_execute_unit",
         _fail_once_then_delegate(sentinel, 0, lambda: time.sleep(3600)),
     )
     result = run_campaign(
-        tiny_grid(), jobs=2,
+        tiny_grid(), jobs=2, pool_mode=pool_mode,
         policy=RetryPolicy(task_timeout=1.0, max_retries=1, backoff=0.01),
     )
     assert sentinel.exists()
@@ -196,15 +225,45 @@ def test_worker_exception_message_survives_the_pipe(monkeypatch):
     assert "ValueError: broke in the child" in result.failed[0].error
 
 
-def test_crash_once_env_hook(tmp_path, monkeypatch):
+@pytest.mark.parametrize("pool_mode", ["warm", "per-attempt"])
+def test_crash_once_env_hook(tmp_path, monkeypatch, pool_mode):
     sentinel = tmp_path / "env-crash"
     monkeypatch.setenv(campaign.CRASH_ONCE_ENV, f"{sentinel}:0")
     result = run_campaign(
-        tiny_grid(), jobs=2,
+        tiny_grid(), jobs=2, pool_mode=pool_mode,
         policy=RetryPolicy(max_retries=2, backoff=0.01),
     )
     assert sentinel.exists()  # the crash really happened...
     assert result.complete    # ...and the retry healed it
+
+
+# ---------------------------------------------------------------------------
+# Cache hits must short-circuit before worker dispatch
+
+
+@pytest.mark.parametrize("pool_mode", ["warm", "per-attempt", "inproc"])
+def test_fully_cached_campaign_never_dispatches_a_worker(
+    tmp_path, monkeypatch, pool_mode
+):
+    """Cache hits are resolved in the coordinator, before any dispatch.
+
+    With every unit cached, ``_execute_unit`` must never run — in any pool
+    mode — so a campaign against a hot cache completes even when executing
+    a unit would blow up.
+    """
+    cache = CampaignCache(tmp_path / "cache")
+    cold = run_campaign(tiny_grid(2), jobs=1, cache=cache)
+    assert cold.complete and cold.executed == 2
+
+    def poisoned(args):
+        raise AssertionError("cache hit must not reach _execute_unit")
+
+    monkeypatch.setattr(campaign, "_execute_unit", poisoned)
+    hot = run_campaign(tiny_grid(2), jobs=2, cache=cache, pool_mode=pool_mode)
+    assert hot.complete
+    assert hot.executed == 0
+    assert hot.cache_hits == 2
+    assert hot.fingerprint() == cold.fingerprint()
 
 
 def test_quarantined_units_do_not_poison_the_cache(tmp_path, monkeypatch):
