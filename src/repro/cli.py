@@ -67,6 +67,42 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_policy(parser: argparse.ArgumentParser) -> None:
+    from .core import known_policies
+
+    parser.add_argument(
+        "--policy", choices=known_policies(), default=None,
+        help="router-advice policy for Muzha runs (default: the paper's "
+             "fuzzy quantiser)",
+    )
+    parser.add_argument(
+        "--policy-params", default=None, metavar="JSON",
+        help="JSON object of parameters for --policy, e.g. "
+             "'{\"sustain_up\": 3}'",
+    )
+
+
+def _load_policy(args: argparse.Namespace):
+    """(policy, policy_params) from the CLI flags, validated."""
+    policy = getattr(args, "policy", None)
+    raw = getattr(args, "policy_params", None)
+    if raw is None:
+        return policy, None
+    if policy is None:
+        raise SystemExit("--policy-params requires --policy")
+    try:
+        params = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"bad --policy-params JSON: {exc}")
+    try:
+        from .core import make_policy
+
+        make_policy(policy, params=params)  # validate field names early
+    except TypeError as exc:
+        raise SystemExit(f"bad --policy-params for {policy!r}: {exc}")
+    return policy, params
+
+
 def _load_faults(args: argparse.Namespace):
     """The parsed FaultPlan named by ``--faults``, or None."""
     path = getattr(args, "faults", None)
@@ -81,9 +117,11 @@ def _load_faults(args: argparse.Namespace):
 
 
 def _cmd_chain(args: argparse.Namespace) -> int:
+    policy, policy_params = _load_policy(args)
     config = ScenarioConfig(
         sim_time=args.time, seed=args.seed, window=args.window, routing=args.routing,
         packet_error_rate=args.loss, faults=_load_faults(args),
+        policy=policy, policy_params=policy_params,
     )
     result = run_chain(args.hops, [args.variant], config=config)
     flow = result.flows[0]
@@ -151,9 +189,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.clear_cache:
             removed = cache.clear()
             print(f"cache cleared: {removed} entries removed")
+    policy, policy_params = _load_policy(args)
     config = ScenarioConfig(
         sim_time=args.time, routing=args.routing, window=args.window,
         packet_error_rate=args.loss, faults=_load_faults(args),
+        policy=policy, policy_params=policy_params,
     )
     grid = chain_grid(args.variants, args.hops, config=config)
     total_runs = len(grid) * args.replications
@@ -229,9 +269,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _run_scenario(args: argparse.Namespace, instrument=None):
     """Run the ``trace``/``stats`` scenario shape with an optional hook."""
+    policy, policy_params = _load_policy(args)
     config = ScenarioConfig(
         sim_time=args.time, seed=args.seed, window=args.window,
         routing=args.routing, faults=_load_faults(args),
+        policy=policy, policy_params=policy_params,
     )
     if args.scenario == "chain":
         return run_chain(args.hops, [args.variant], config=config,
@@ -371,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-frame random loss probability")
     chain.add_argument("--trace", action="store_true", help="print the cwnd trace")
     _add_faults(chain)
+    _add_policy(chain)
     chain.set_defaults(func=_cmd_chain)
 
     sweep = sub.add_parser("sweep", help="Figs 5.8-5.13 hop sweep")
@@ -442,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="base delay before a retry (doubles per "
                                "attempt)")
     _add_faults(campaign)
+    _add_policy(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     def add_scenario_args(p: argparse.ArgumentParser) -> None:
@@ -471,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--probe-interval", type=float, default=0.5,
                        help="time-series probe period, seconds (0 disables)")
     _add_faults(trace)
+    _add_policy(trace)
     trace.set_defaults(func=_cmd_trace)
 
     stats_p = sub.add_parser(
@@ -483,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--per-node", action="store_true",
                          help="also print the per-node rollup table")
     _add_faults(stats_p)
+    _add_policy(stats_p)
     stats_p.set_defaults(func=_cmd_stats)
 
     profile = sub.add_parser(

@@ -1,7 +1,9 @@
 """The paper's primary contribution (S7): TCP Muzha and the DRAI machinery.
 
 Importing this package registers the Muzha variants with the transport
-registry, so scenario code can request ``variant="muzha"``.
+registry, so scenario code can request ``variant="muzha"``.  The
+router-advice policy family (fuzzy / binary-feedback / queue-trend /
+hysteresis) self-registers with :mod:`repro.core.policy` on import.
 """
 
 from ..transport.registry import register_variant
@@ -20,24 +22,54 @@ from .drai import (
     is_marked,
 )
 from .muzha import MuzhaStats, TcpMuzha
+from .policy import (
+    HOLD_LEVEL,
+    HYSTERESIS_STATES,
+    AdvicePolicy,
+    BinaryFeedbackPolicy,
+    FuzzyDraiPolicy,
+    HysteresisParams,
+    HysteresisPolicy,
+    PolicySignals,
+    QueueTrendParams,
+    QueueTrendPolicy,
+    known_policies,
+    make_policy,
+    policy_class,
+    register_policy,
+)
 
 register_variant("muzha", TcpMuzha)
 register_variant("muzha-nomark", TcpMuzhaNoMarking)
 
 __all__ = [
+    "AdvicePolicy",
     "BinaryFeedbackDrai",
+    "BinaryFeedbackPolicy",
     "DECELERATION_BAND",
     "DRAI_TABLE",
     "DraiEstimator",
     "DraiParams",
+    "FuzzyDraiPolicy",
+    "HOLD_LEVEL",
+    "HYSTERESIS_STATES",
+    "HysteresisParams",
+    "HysteresisPolicy",
     "MAX_DRAI",
     "MIN_DRAI",
     "MuzhaStats",
+    "PolicySignals",
     "QueueRttDrai",
+    "QueueTrendParams",
+    "QueueTrendPolicy",
     "TcpMuzha",
     "TcpMuzhaNoMarking",
     "apply_drai",
     "compute_drai",
     "install_drai",
     "is_marked",
+    "known_policies",
+    "make_policy",
+    "policy_class",
+    "register_policy",
 ]

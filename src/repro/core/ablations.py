@@ -11,22 +11,26 @@ triple-dupACK is treated as congestion, quantifying what the marking buys.
 from __future__ import annotations
 
 from ..transport.segments import TcpSegment
-from .drai import DraiEstimator, compute_drai
+from .drai import DraiEstimator
 from .muzha import TcpMuzha
 
 
 class BinaryFeedbackDrai(DraiEstimator):
     """ECN-style single-bit feedback expressed in DRAI terms.
 
-    The node only ever publishes 4 ("no congestion" -> moderate
-    acceleration) or 1 ("congestion" -> aggressive deceleration); the
-    stabilizing and moderate levels are unavailable, so a sender at the
-    optimal rate is always pushed away from it.
+    The node publishes 4 ("no congestion" -> moderate acceleration) or 1
+    ("congestion" -> aggressive deceleration); the stabilizing and
+    moderate levels are unavailable, so a sender at the optimal rate is
+    always pushed away from it.  A shim over the registered
+    ``binary-feedback`` policy, which also inherits the family-wide
+    saturation clamp (advice capped at 3 while the sampled server/queue
+    is saturated).
     """
 
-    def _compute(self, queue_len: float, utilization: float, occupancy: float) -> int:
-        fine = compute_drai(queue_len, utilization, occupancy, self.params)
-        return 1 if fine <= 2 else 4
+    def _default_policy(self):
+        from .policy import BinaryFeedbackPolicy
+
+        return BinaryFeedbackPolicy(drai_params=self.params)
 
 
 class TcpMuzhaNoMarking(TcpMuzha):

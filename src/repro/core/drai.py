@@ -29,12 +29,15 @@ loss as congestion-induced (§4.7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
 
 from ..net.node import Node
 from ..net.packet import Packet
 from ..sim.simulator import Simulator
 from ..sim.timer import PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (policy imports us)
+    from .policy import AdvicePolicy
 
 #: The five DRAI levels.
 MAX_DRAI = 5
@@ -197,6 +200,13 @@ class DraiEstimator:
     Installed as a node *stamper*, it implements the AVBW-S semantics of
     §4.4: every packet carrying the option has it lowered to this node's
     DRAI if smaller, so the receiver sees the path minimum (the MRAI).
+
+    The estimator owns the *sampling-window bookkeeping* — busy-time
+    deltas, EWMA smoothing and the queue-trend delta — and delegates the
+    level decision to a pluggable :class:`~repro.core.policy.AdvicePolicy`
+    (default: the paper's fuzzy quantiser, a pure refactor of the old
+    inline computation).  ``policy`` accepts a policy instance or a
+    registry name; stateful policies must not be shared between nodes.
     """
 
     def __init__(
@@ -204,14 +214,26 @@ class DraiEstimator:
         sim: Simulator,
         node: Node,
         params: Optional[DraiParams] = None,
+        policy: Optional[Union["AdvicePolicy", str]] = None,
     ) -> None:
         self.sim = sim
         self.node = node
         self.params = params or DraiParams()
+        if policy is None:
+            policy = self._default_policy()
+        elif isinstance(policy, str):
+            from .policy import make_policy
+
+            policy = make_policy(policy, drai_params=self.params)
+        self.policy = policy
         self.drai = MAX_DRAI
         self.utilization = 0.0
         self.occupancy = 0.0
         self.queue_ema = 0.0
+        #: Change in the effective backlog since the previous sample — the
+        #: shared window bookkeeping trend-sensitive policies consume.
+        self.queue_trend = 0.0
+        self._prev_queue = 0.0
         self._last_sample_at = sim.now
         self._last_busy_total = node.mac.meter.total_busy_time(sim.now)
         self._last_service_total = node.mac.service_meter.total_busy_time(sim.now)
@@ -220,6 +242,13 @@ class DraiEstimator:
         )
         #: Histogram of published DRAI levels (diagnostics / tests).
         self.level_counts: Dict[int, int] = {lvl: 0 for lvl in DRAI_TABLE}
+        #: Samples spent in each policy state (time-in-state metrics).
+        self.state_counts: Dict[str, int] = {}
+
+    def _default_policy(self) -> "AdvicePolicy":
+        from .policy import FuzzyDraiPolicy
+
+        return FuzzyDraiPolicy(drai_params=self.params)
 
     def install(self) -> "DraiEstimator":
         """Attach to the node's stamper chain and start sampling."""
@@ -249,8 +278,12 @@ class DraiEstimator:
         effective_queue = self.queue_ema
         if instant >= self.params.queue_hard_lo:
             effective_queue = max(effective_queue, instant)
+        self.queue_trend = effective_queue - self._prev_queue
+        self._prev_queue = effective_queue
         self.drai = self._compute(effective_queue, self.utilization, self.occupancy)
         self.level_counts[self.drai] += 1
+        state = self.policy.state()
+        self.state_counts[state] = self.state_counts.get(state, 0) + 1
         # Gate before building the field dict (sim.trace discipline).
         trace = self.sim.trace
         if trace.active and trace.wants("drai.sample"):
@@ -258,11 +291,15 @@ class DraiEstimator:
                 f"drai.{self.node.node_id}", "drai.sample",
                 node=self.node.node_id, level=self.drai,
                 queue=effective_queue, util=self.utilization,
-                occ=self.occupancy,
+                occ=self.occupancy, policy=self.policy.name, state=state,
             )
 
     def _compute(self, queue_len: float, utilization: float, occupancy: float) -> int:
-        return compute_drai(queue_len, utilization, occupancy, self.params)
+        from .policy import PolicySignals
+
+        return self.policy.advise(
+            PolicySignals(queue_len, utilization, occupancy, self.queue_trend)
+        )
 
     def stamp(self, packet: Packet) -> None:
         """Lower the packet's AVBW-S option to this node's DRAI."""
@@ -276,20 +313,22 @@ class QueueRttDrai(DraiEstimator):
     A rapidly growing queue predicts congestion before the occupancy
     thresholds trip, so this estimator demotes the published level by one
     when the IFQ grew by more than ``growth_threshold`` packets during the
-    last sample interval.
+    last sample interval.  Now a thin shim over the registered
+    ``queue-trend`` policy: the growth bookkeeping lives in the shared
+    :class:`DraiEstimator` sampling window (``queue_trend``), not here.
     """
 
     def __init__(self, *args, growth_threshold: float = 2.0, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
         self.growth_threshold = growth_threshold
-        self._prev_queue_len = 0.0
+        super().__init__(*args, **kwargs)
 
-    def _compute(self, queue_len: float, utilization: float, occupancy: float) -> int:
-        level = compute_drai(queue_len, utilization, occupancy, self.params)
-        if queue_len - self._prev_queue_len > self.growth_threshold:
-            level = max(MIN_DRAI, level - 1)
-        self._prev_queue_len = queue_len
-        return level
+    def _default_policy(self):
+        from .policy import QueueTrendParams, QueueTrendPolicy
+
+        return QueueTrendPolicy(
+            QueueTrendParams(growth_threshold=self.growth_threshold),
+            drai_params=self.params,
+        )
 
 
 def install_drai(
@@ -297,9 +336,25 @@ def install_drai(
     sim: Simulator,
     params: Optional[DraiParams] = None,
     estimator_cls=DraiEstimator,
+    policy: Optional[str] = None,
+    policy_params: Optional[Dict] = None,
 ) -> Dict[int, DraiEstimator]:
-    """Install a DRAI estimator on every node (every node is a router)."""
+    """Install a DRAI estimator on every node (every node is a router).
+
+    ``policy`` names a registered advice policy (default: the estimator
+    class's own default, i.e. the paper's fuzzy quantiser).  A *fresh*
+    policy instance is built per node — state machines keep per-router
+    state and must never be shared.
+    """
     estimators: Dict[int, DraiEstimator] = {}
     for node in nodes:
-        estimators[node.node_id] = estimator_cls(sim, node, params=params).install()
+        node_policy = None
+        if policy is not None:
+            from .policy import make_policy
+
+            node_policy = make_policy(policy, params=policy_params,
+                                      drai_params=params)
+        estimators[node.node_id] = estimator_cls(
+            sim, node, params=params, policy=node_policy
+        ).install()
     return estimators

@@ -23,7 +23,8 @@ FULL_ENV_VAR = "REPRO_FULL"
 #: results stale (the campaign cache folds this into every content hash).
 #: v2: cache entries became ``{"result": ..., "manifest": ...}`` envelopes.
 #: v3: checksummed envelopes (corruption detection) + fault-plan configs.
-CACHE_SCHEMA_VERSION = 3
+#: v4: router-advice policy selection in configs + per-state DRAI metrics.
+CACHE_SCHEMA_VERSION = 4
 
 
 def full_scale() -> bool:
@@ -65,6 +66,12 @@ class ScenarioConfig:
     mss: int = 1460
     ifq_capacity: int = 50
     drai_params: Optional[DraiParams] = None
+    #: Router-advice policy name (``repro.core.policy`` registry); None =
+    #: the paper's fuzzy quantiser, byte-identical to the pre-policy runs.
+    policy: Optional[str] = None
+    #: JSON-safe parameters for ``policy`` (the policy's params dataclass
+    #: as a dict); None = the policy's defaults.
+    policy_params: Optional[Dict[str, Any]] = None
     #: Per-frame random loss probability (0 = the paper's clean-medium runs).
     packet_error_rate: float = 0.0
     #: Sampling period for throughput-dynamics series.

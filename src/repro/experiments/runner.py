@@ -337,7 +337,8 @@ def run_chain(
     )
     _install_routing(network, config)
     if _needs_drai(variants):
-        install_drai(network.nodes, network.sim, params=config.drai_params)
+        install_drai(network.nodes, network.sim, params=config.drai_params,
+                     policy=config.policy, policy_params=config.policy_params)
     if config.faults is not None:
         install_faults(network, config.faults, horizon=config.sim_time)
     src, dst = network.nodes[0], network.nodes[-1]
@@ -388,7 +389,8 @@ def run_cross(
     _install_routing(network, config)
     variants = (variant_horizontal, variant_vertical)
     if _needs_drai(variants):
-        install_drai(network.nodes, network.sim, params=config.drai_params)
+        install_drai(network.nodes, network.sim, params=config.drai_params,
+                     policy=config.policy, policy_params=config.policy_params)
     if config.faults is not None:
         install_faults(network, config.faults, horizon=config.sim_time)
     endpoints = [

@@ -250,6 +250,13 @@ def collect_network_metrics(
             registry.gauge("drai.level", node=nid).set(float(drai.drai))
             registry.gauge("drai.utilization", node=nid).set(drai.utilization)
             registry.gauge("drai.occupancy", node=nid).set(drai.occupancy)
+            # Per-state dwell counters: samples spent in each advice-policy
+            # state (x sample_interval = time-in-state, the bake-off metric).
+            for state, count in sorted(drai.state_counts.items()):
+                registry.counter(
+                    "drai.state_samples", node=nid,
+                    policy=drai.policy.name, state=state,
+                ).inc(count)
     for i, flow in enumerate(flows):
         sender = flow.sender
         nid = sender.node.node_id

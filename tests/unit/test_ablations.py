@@ -19,15 +19,27 @@ class TestBinaryFeedback:
         node = Node(sim, channel, 0, Position(0))
         return BinaryFeedbackDrai(sim, node)
 
-    def test_only_two_levels_published(self):
+    def test_only_two_levels_published_while_unsaturated(self):
         est = self.build()
         levels = {
-            est._compute(q / 2.0, u / 10.0, o / 10.0)
-            for q in range(0, 30)
+            est._compute(q / 2.0, u / 10.0, o / 20.0)
+            for q in range(0, 15)  # below queue_hard_hi = 8.0
             for u in range(0, 11)
-            for o in range(0, 11)
+            for o in range(0, 14)  # below occ_sat_hi = 0.75
         }
         assert levels <= {1, 4}
+
+    def test_saturated_sample_is_clamped_to_hold(self):
+        """The family-wide guard: even the one-bit ablation may not push
+        acceleration into an instantaneously saturated server/queue."""
+        est = self.build()
+        # fine-grained level here is 3 -> binary would publish 4, but the
+        # MAC server is saturated, so the shared clamp caps it at 3
+        assert est._compute(0.5, 0.5, 0.8) <= 3
+        levels = {
+            est._compute(q, 0.5, 0.9) for q in (0.0, 2.0, 10.0, 20.0)
+        }
+        assert all(level <= 3 for level in levels)
 
     def test_congested_maps_to_aggressive_deceleration(self):
         est = self.build()

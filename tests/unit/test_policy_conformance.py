@@ -1,0 +1,144 @@
+"""Policy conformance suite: one parametrized contract, every policy.
+
+Each registered :class:`~repro.core.policy.AdvicePolicy` must satisfy the
+family-wide behavioral guarantees regardless of its internals:
+
+* advice always within the five-level DRAI range;
+* ``reset()`` restores the initial state exactly;
+* identical signal sequences yield identical advice sequences
+  (deterministic replay — the property the campaign cache banks on);
+* no acceleration while the sampled server/queue is saturated;
+* policy parameters round-trip through the config/JSON layer.
+
+Adding a policy to the registry automatically subjects it to this suite.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core import (
+    HOLD_LEVEL,
+    MAX_DRAI,
+    MIN_DRAI,
+    known_policies,
+    make_policy,
+    policy_class,
+)
+from repro.core.policy import PolicySignals
+from repro.experiments import ScenarioConfig
+
+EXPECTED_POLICIES = {"fuzzy", "binary-feedback", "queue-trend", "hysteresis"}
+
+
+def signal_walk(n: int = 400, seed: int = 7) -> list:
+    """A deterministic pseudo-random walk through signal space.
+
+    Covers idle, loaded, RTT-inflated and queue-saturated regimes, with
+    the trend derived from consecutive queue samples (as the estimator's
+    shared sampling window would supply it).
+    """
+    rng = random.Random(seed)
+    samples = []
+    queue = 0.0
+    for i in range(n):
+        # Alternate regimes every 50 samples so state machines get both
+        # sustained pressure and sustained recovery.
+        regime = (i // 50) % 4
+        target = (0.0, 3.0, 1.0, 12.0)[regime]
+        prev = queue
+        queue = max(0.0, queue + (target - queue) * 0.3 + rng.uniform(-0.5, 0.5))
+        util = min(1.0, max(0.0, rng.uniform(0.0, 0.5) + 0.4 * (regime % 2)))
+        occ = min(1.0, max(0.0, rng.uniform(0.0, 0.4) + 0.25 * regime))
+        samples.append(PolicySignals(queue, util, occ, queue - prev))
+    return samples
+
+
+def run_policy(name: str, samples) -> list:
+    policy = make_policy(name)
+    return [(policy.advise(s), policy.state()) for s in samples]
+
+
+def test_registry_has_the_policy_family():
+    assert EXPECTED_POLICIES <= set(known_policies())
+
+
+def test_unknown_policy_is_a_loud_error():
+    with pytest.raises(KeyError, match="unknown advice policy"):
+        policy_class("no-such-policy")
+    with pytest.raises(KeyError, match="no-such-policy"):
+        make_policy("no-such-policy")
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_POLICIES))
+class TestPolicyConformance:
+    def test_advice_always_within_the_five_levels(self, name):
+        for advice, _ in run_policy(name, signal_walk()):
+            assert MIN_DRAI <= advice <= MAX_DRAI
+
+    def test_reset_restores_initial_state(self, name):
+        policy = make_policy(name)
+        initial_state = policy.state()
+        samples = signal_walk()
+        first = [(policy.advise(s), policy.state()) for s in samples]
+        policy.reset()
+        assert policy.state() == initial_state
+        second = [(policy.advise(s), policy.state()) for s in samples]
+        assert first == second
+
+    def test_identical_signals_yield_identical_advice(self, name):
+        samples = signal_walk()
+        assert run_policy(name, samples) == run_policy(name, samples)
+
+    def test_no_acceleration_under_saturation(self, name):
+        policy = make_policy(name)
+        queue_sat, occ_sat = policy.saturation_bounds()
+        for signals in signal_walk():
+            advice = policy.advise(signals)
+            if signals.queue_len >= queue_sat or signals.occupancy >= occ_sat:
+                assert advice <= HOLD_LEVEL, (
+                    f"{name} accelerated into a saturated relay: "
+                    f"{signals} -> {advice}"
+                )
+        # Drive the saturated corner explicitly, whatever the prior state.
+        saturated = PolicySignals(queue_sat + 5.0, 0.9, min(1.0, occ_sat + 0.1))
+        assert policy.advise(saturated) <= HOLD_LEVEL
+
+    def test_params_round_trip_through_the_config_json_layer(self, name):
+        policy = make_policy(name)
+        payload = policy.params_dict()
+        config = ScenarioConfig(sim_time=1.0, policy=name, policy_params=payload)
+        # to_dict -> JSON text -> from_dict is the campaign-cache path.
+        revived = ScenarioConfig.from_dict(
+            json.loads(json.dumps(config.to_dict(), sort_keys=True))
+        )
+        assert revived.policy == name
+        assert revived.policy_params == payload
+        rebuilt = make_policy(revived.policy, params=revived.policy_params)
+        assert rebuilt.params == policy.params
+        assert rebuilt.params_dict() == payload
+
+    def test_replay_after_round_trip_is_identical(self, name):
+        """The serialized form must reconstruct the same controller."""
+        samples = signal_walk(n=150, seed=11)
+        original = make_policy(name)
+        rebuilt = make_policy(name, params=original.params_dict())
+        assert [original.advise(s) for s in samples] == [
+            rebuilt.advise(s) for s in samples
+        ]
+
+
+def test_policies_do_not_share_state_across_instances():
+    """install_drai builds one policy per node; two instances fed different
+    histories must not interfere (guards against accidental class state)."""
+    a = make_policy("hysteresis")
+    b = make_policy("hysteresis")
+    hot = PolicySignals(20.0, 0.9, 0.95)
+    for _ in range(10):
+        a.advise(hot)
+    assert a.state() == "RED"
+    assert b.state() != "RED"
+    assert b.advise(PolicySignals(0.0, 0.0, 0.0)) == 5
