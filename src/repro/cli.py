@@ -98,7 +98,7 @@ def _load_policy(args: argparse.Namespace):
         from .core import make_policy
 
         make_policy(policy, params=params)  # validate field names early
-    except TypeError as exc:
+    except (TypeError, ValueError) as exc:
         raise SystemExit(f"bad --policy-params for {policy!r}: {exc}")
     return policy, params
 

@@ -346,6 +346,8 @@ def install_drai(
     policy instance is built per node — state machines keep per-router
     state and must never be shared.
     """
+    if policy is None and policy_params is not None:
+        raise ValueError("policy_params requires a policy name")
     estimators: Dict[int, DraiEstimator] = {}
     for node in nodes:
         node_policy = None

@@ -36,6 +36,15 @@ def test_tables_command(capsys):
     assert "2Mbps" in out and "AODV" in out
 
 
+def test_policy_params_value_errors_exit_cleanly():
+    """Out-of-range params (ValueError, not TypeError) must not traceback."""
+    with pytest.raises(SystemExit, match="bad --policy-params for 'hysteresis'"):
+        main([
+            "chain", "--hops", "2", "--time", "1",
+            "--policy", "hysteresis", "--policy-params", '{"sustain_up": 0}',
+        ])
+
+
 def test_chain_command_runs_small_scenario(capsys):
     assert main(["chain", "--hops", "2", "--time", "3", "--variant", "newreno"]) == 0
     out = capsys.readouterr().out

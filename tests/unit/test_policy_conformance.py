@@ -131,6 +131,14 @@ class TestPolicyConformance:
         ]
 
 
+def test_install_drai_rejects_params_without_policy():
+    """Programmatic API mirrors the CLI guard: params need a policy name."""
+    from repro.core import install_drai
+
+    with pytest.raises(ValueError, match="requires a policy"):
+        install_drai([], None, policy=None, policy_params={"sustain_up": 3})
+
+
 def test_policies_do_not_share_state_across_instances():
     """install_drai builds one policy per node; two instances fed different
     histories must not interfere (guards against accidental class state)."""
