@@ -3,8 +3,13 @@
 Disk propagation with separate receive/carrier-sense radii, half-duplex
 radios with full collision tracking, DSSS frame timing, and pluggable random
 loss models (uniform BER, bursty Gilbert–Elliott, fixed packet error rate).
+
+The per-frame fan-out runs on one of two byte-identical execution lanes
+(``repro.phy.batch``): the numpy-vectorized batch lane (default when numpy
+is importable) or the scalar reference lane (always available).
 """
 
+from .batch import HAVE_NUMPY, LANES, NUMPY_MIN_FANOUT, BatchFanout, resolve_lane
 from .channel import WirelessChannel
 from .error_models import (
     ErrorModel,
@@ -21,9 +26,13 @@ from .radio import PhyListener, Radio, Signal
 
 __all__ = [
     "Area",
+    "BatchFanout",
     "DiskPropagation",
     "ErrorModel",
     "GilbertElliott",
+    "HAVE_NUMPY",
+    "LANES",
+    "NUMPY_MIN_FANOUT",
     "NoError",
     "PacketErrorRate",
     "PhyListener",
@@ -34,4 +43,5 @@ __all__ = [
     "Signal",
     "UniformBitError",
     "WirelessChannel",
+    "resolve_lane",
 ]

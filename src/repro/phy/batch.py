@@ -1,0 +1,172 @@
+"""Vectorized PHY batch lane: lane selection + per-source fan-out kernels.
+
+The channel's per-frame hot path fans one transmission out to every
+carrier-sense neighbour: k arrival timestamps, k signal-end timestamps and
+2k scheduler insertions per frame.  This module supplies the *batch lane*
+for that work:
+
+* :func:`resolve_lane` picks the execution lane (``auto``/``batch``/
+  ``scalar``) at channel construction time, falling back to the scalar path
+  when numpy is unavailable and honouring the ``REPRO_PHY_LANE`` environment
+  override;
+* :class:`BatchFanout` holds one source radio's fan-out as parallel arrays —
+  propagation delays as a float64 vector, bound receive callbacks, the
+  receivable mask and rx powers as plain per-neighbour tuples — and computes
+  all of a frame's timestamps in one shot.
+
+Determinism contract (carried from PR 2): event-order traces, figure CSVs
+and campaign fingerprints must stay **byte-identical** across lanes.  The
+timestamp kernel therefore reproduces the scalar code's float grouping
+exactly — ``now + delay``, ``(now + delay) + duration`` and
+``now + (delay + duration)`` — as elementwise float64 operations.  IEEE-754
+double addition is what both CPython floats and numpy float64 execute, and
+it is commutative and deterministic per element, so the batch results are
+bit-equal to the scalar ones; ``ndarray.tolist()`` converts back to the very
+same Python floats.  Lane choice can change *speed only*, never a single
+event timestamp, sequence number or RNG draw.
+
+Small fan-outs sidestep numpy: four kernel launches plus three ``tolist()``
+conversions cost a couple of microseconds regardless of width, which a
+handful of float additions undercuts.  Below :data:`NUMPY_MIN_FANOUT`
+neighbours the same grouping is computed in a plain loop — still one
+bulk-scheduled batch per frame, still bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
+
+try:  # gated import: the scalar lane must work on a numpy-less interpreter
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: Whether the batch lane is available in this interpreter.
+HAVE_NUMPY = _np is not None
+
+#: Valid ``phy_lane`` settings.
+LANES = ("auto", "batch", "scalar")
+
+#: Environment override consulted when the configured lane is ``auto`` —
+#: lets CI (and bisection) force a lane fleet-wide without touching configs,
+#: and without perturbing config digests (lanes are result-invariant).
+ENV_VAR = "REPRO_PHY_LANE"
+
+#: Fan-out width below which the batch lane computes timestamps in a plain
+#: Python loop instead of numpy: measured on the 8-radio chain bench, the
+#: fixed cost of 4 ufunc launches + 3 tolist() conversions (~2-3 us) only
+#: amortizes once a frame reaches this many carrier-sense neighbours.
+NUMPY_MIN_FANOUT = 16
+
+
+def resolve_lane(requested: Optional[str] = None) -> str:
+    """Resolve a requested lane to the concrete ``batch``/``scalar`` lane.
+
+    ``auto`` (or None) consults the ``REPRO_PHY_LANE`` environment variable,
+    then availability: numpy present selects ``batch``, otherwise
+    ``scalar``.  Explicitly requesting ``batch`` without numpy raises — a
+    config that *names* the vector lane should fail loudly rather than
+    silently run 'slower but identical'.
+    """
+    lane = requested if requested is not None else "auto"
+    if lane not in LANES:
+        raise ValueError(f"unknown phy_lane {lane!r}; expected one of {LANES}")
+    if lane == "auto":
+        env = os.environ.get(ENV_VAR)
+        if env:
+            if env not in LANES:
+                raise ValueError(
+                    f"bad {ENV_VAR}={env!r}; expected one of {LANES}"
+                )
+            lane = env
+    if lane == "auto":
+        lane = "batch" if HAVE_NUMPY else "scalar"
+    if lane == "batch" and not HAVE_NUMPY:
+        raise ValueError(
+            "phy_lane='batch' requires numpy (pip install 'repro[fast]'); "
+            "use 'auto' to fall back to the scalar lane automatically"
+        )
+    return lane
+
+
+#: One precomputed scalar fan-out entry, as built by the channel:
+#: (signal_start, signal_end, receivable, prop_delay, rx_power).
+_FanoutEntry = Tuple[
+    Callable[..., None], Callable[..., None], bool, float, float
+]
+
+
+class BatchFanout:
+    """One source radio's fan-out as parallel arrays + a timestamp kernel.
+
+    ``neighbors`` keeps the per-neighbour invariants the per-frame loop
+    needs — ``(signal_start, signal_end, receivable, rx_power)`` in exactly
+    the scalar fan-out's iteration order (sequence numbers are assigned in
+    fan-out order; reordering would reorder equal-timestamp events).  The
+    propagation delays live separately as the vector input of
+    :meth:`timestamps`.
+    """
+
+    __slots__ = (
+        "neighbors", "delays", "width", "use_numpy",
+        "_d", "_starts", "_ends", "_sums", "_departs",
+    )
+
+    def __init__(self, entries: Sequence[_FanoutEntry]) -> None:
+        self.neighbors: List[Tuple[Callable, Callable, bool, float]] = [
+            (sig_start, sig_end, receivable, power)
+            for sig_start, sig_end, receivable, _delay, power in entries
+        ]
+        self.delays: List[float] = [entry[3] for entry in entries]
+        # The batch lane inserts its events without per-item clock checks
+        # (EventScheduler.bulk_heap_insert); that is sound only because every
+        # fan-out timestamp is ``now`` plus non-negative terms.  Validate the
+        # delay half of that guarantee once, here.
+        if any(delay < 0 for delay in self.delays):
+            raise ValueError("fan-out propagation delays must be >= 0")
+        self.width = width = len(entries)
+        self.use_numpy = HAVE_NUMPY and width >= NUMPY_MIN_FANOUT
+        if self.use_numpy:
+            self._d = _np.array(self.delays, dtype=_np.float64)
+            self._starts = _np.empty(width, dtype=_np.float64)
+            self._ends = _np.empty(width, dtype=_np.float64)
+            self._sums = _np.empty(width, dtype=_np.float64)
+            self._departs = _np.empty(width, dtype=_np.float64)
+
+    def timestamps(
+        self, now: float, duration: float
+    ) -> Tuple[List[float], List[float], List[float]]:
+        """All of one frame's fan-out timestamps, grouped like the scalar path.
+
+        Returns ``(starts, ends, departs)`` where, per neighbour ``i`` with
+        propagation delay ``d_i``::
+
+            starts[i]  = now + d_i                  # arrival
+            ends[i]    = (now + d_i) + duration     # Signal.end_time
+            departs[i] = now + (d_i + duration)     # signal_end event
+
+        The two right-hand columns intentionally group differently (float
+        addition is not associative); both lanes preserve each grouping so
+        the 1-ULP event-order contract holds bit-for-bit.
+        """
+        if self.use_numpy:
+            d = self._d
+            starts = self._starts
+            _np.add(d, now, out=starts)
+            _np.add(starts, duration, out=self._ends)
+            _np.add(d, duration, out=self._sums)
+            _np.add(self._sums, now, out=self._departs)
+            return starts.tolist(), self._ends.tolist(), self._departs.tolist()
+        starts = []
+        ends = []
+        departs = []
+        append_start = starts.append
+        append_end = ends.append
+        append_depart = departs.append
+        for delay in self.delays:
+            t_start = now + delay
+            append_start(t_start)
+            append_end(t_start + duration)
+            append_depart(now + (delay + duration))
+        return starts, ends, departs

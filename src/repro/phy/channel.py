@@ -13,11 +13,26 @@ Hot path: :meth:`transmit` is called once per MAC frame (RTS/CTS/DATA/ACK),
 and fans out two scheduler events per carrier-sense neighbour.  The fan-out
 list per source is precomputed — bound ``signal_start``/``signal_end``
 methods, propagation delay and rx power per neighbour — so the per-frame
-work is one :class:`Signal` object and two direct ``scheduler.schedule``
-calls per neighbour, with the frame-size lookup hoisted out of the per-signal
+work is one :class:`Signal` object and two scheduler insertions per
+neighbour, with the frame-size lookup hoisted out of the per-signal
 departure path.  Sense-only neighbours (inside carrier-sense but outside
 decode range) never consult the error model, and a ``NoError`` medium skips
 the departure trampoline entirely.
+
+Execution lanes: the channel runs one of two per-frame implementations,
+chosen at construction (``phy_lane``) via :func:`repro.phy.batch.resolve_lane`:
+
+* ``scalar`` — the PR-2 reference path: two ``scheduler.schedule`` calls
+  per neighbour (always available, the fallback when numpy is missing);
+* ``batch`` — the vectorized lane: all fan-out timestamps computed in one
+  shot through :class:`repro.phy.batch.BatchFanout` (numpy float64 for wide
+  fan-outs, a plain loop below the amortization threshold) and all 2k
+  events inserted with one :meth:`EventScheduler.schedule_batch` call.
+
+Both lanes are **byte-identical** in behaviour: same timestamps (same float
+grouping), same sequence-number assignment order, same RNG draw sequence —
+lane choice may change speed only.  ``tests/props/test_lane_equivalence.py``
+and the ``bench_kernel.py --check`` lane-identity gate enforce this.
 """
 
 from __future__ import annotations
@@ -25,7 +40,9 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..sim import units
+from ..sim.scheduler import SchedulerError
 from ..sim.simulator import Simulator
+from .batch import BatchFanout, resolve_lane
 from .error_models import ErrorModel, NoError
 from .frame_timing import PhyParams
 from .position import Position
@@ -48,11 +65,14 @@ class WirelessChannel:
         propagation: Optional[DiskPropagation] = None,
         phy: Optional[PhyParams] = None,
         error_model: Optional[ErrorModel] = None,
+        phy_lane: str = "auto",
     ) -> None:
         self.sim = sim
         self.propagation = propagation or DiskPropagation()
         self.phy = phy or PhyParams()
         self.error_model = error_model or NoError()
+        #: Resolved execution lane ("batch" or "scalar"); see module docs.
+        self.lane = resolve_lane(phy_lane)
         self._positions: Dict[Radio, Position] = {}
         # radio -> [(peer, receivable, prop_delay, rx_power)]
         self._neighbors: Optional[
@@ -60,8 +80,14 @@ class WirelessChannel:
         ] = None
         # Derived caches, invalidated together with ``_neighbors``.
         self._fanout: Optional[Dict[Radio, List[FanoutEntry]]] = None
+        self._batch_fanout: Optional[Dict[Radio, BatchFanout]] = None
         self._rx_neighbors: Optional[Dict[Radio, List[Radio]]] = None
         self._error_rng = sim.stream("phy.error")
+        if self.lane == "batch":
+            # Per-instance dispatch: shadowing the bound method costs zero
+            # per-frame (no lane branch on the hot path).  ``transmit``
+            # itself stays the scalar reference implementation.
+            self.transmit = self._transmit_batch  # type: ignore[method-assign]
         # Fault vetoes (node crashes / link blackouts).  They act as
         # topology filters inside the neighbour-cache build, so the per-frame
         # transmit hot path is untouched: fault transitions are rare events
@@ -88,6 +114,7 @@ class WirelessChannel:
     def _invalidate(self) -> None:
         self._neighbors = None
         self._fanout = None
+        self._batch_fanout = None
         self._rx_neighbors = None
 
     def position_of(self, radio: Radio) -> Position:
@@ -156,6 +183,19 @@ class WirelessChannel:
             }
         return self._fanout
 
+    def _batch_map(self) -> Dict[Radio, BatchFanout]:
+        """Per-source :class:`BatchFanout` kernels (batch lane only).
+
+        Built from the scalar fan-out in the same neighbour order, so
+        sequence numbers are assigned identically across lanes.
+        """
+        if self._batch_fanout is None:
+            self._batch_fanout = {
+                src: BatchFanout(entries)
+                for src, entries in self._fanout_map().items()
+            }
+        return self._batch_fanout
+
     def neighbors_of(self, radio: Radio) -> List[Radio]:
         """Radios within decode range of ``radio`` (static disk model).
 
@@ -212,6 +252,66 @@ class WirelessChannel:
                     now + (delay + duration), sig_end, signal, False,
                     name="phy.sig_end",
                 )
+
+    def _transmit_batch(self, src: Radio, frame: object, duration: float) -> None:
+        """Batch-lane :meth:`transmit`: same events, one bulk insertion.
+
+        Mirrors the scalar path observable-for-observable — same counters,
+        same trace emit, same scheduling *order* (tx_end first, then per
+        neighbour arrival/departure pairs in fan-out order) so sequence
+        numbers come out identical.  The timestamps arrive precomputed from
+        the fan-out kernel with the scalar float grouping, and the 2k+1
+        events skip :class:`Event` construction entirely: the loop builds
+        the scheduler's fire-and-forget heap tuples directly (seqs claimed
+        up front with ``reserve_seqs``) and hands them to one
+        ``bulk_heap_insert`` call — none of these events is ever cancelled,
+        the scalar path discards their handles too.
+        """
+        self.transmissions += 1
+        src.begin_transmit(duration)
+        fan = self._batch_map()[src]
+        sched = self.sim.scheduler
+        now = sched.now
+        if duration < 0:
+            # Same failure the scalar lane's first schedule() call raises;
+            # checked here because bulk_heap_insert trusts its times.
+            raise SchedulerError(
+                f"cannot schedule event at {now + duration:.9f}, "
+                f"now is {now:.9f}"
+            )
+        # Two seq reservations, not one: the scalar path assigns tx_end's
+        # seq before the trace emit and the neighbour seqs after it, so even
+        # a trace sink that schedules during the emit sees identical seq
+        # interleaving on both lanes.
+        items = [
+            (now + duration, 0, sched.reserve_seqs(1), (src.end_transmit, ()))
+        ]
+        if self.sim.trace.wants("phy.tx"):
+            self.sim.emit(
+                "phy", "phy.tx", src=src.node_id, duration=duration,
+                neighbors=fan.width,
+            )
+        nbytes = getattr(frame, "size_bytes", 0)
+        no_error = type(self.error_model) is NoError
+        starts, ends, departs = fan.timestamps(now, duration)
+        depart = self._depart
+        append = items.append
+        seq = sched.reserve_seqs(2 * fan.width) - 1
+        # zip() iteration over the parallel timestamp lists measures ~20%
+        # faster than indexed access at experiment fan-out widths.
+        for (sig_start, sig_end, receivable, power), t_start, t_end, t_depart \
+                in zip(fan.neighbors, starts, ends, departs):
+            signal = Signal(frame, receivable, t_end, power)
+            seq += 1
+            append((t_start, 0, seq, (sig_start, (signal,))))
+            seq += 1
+            if receivable and not no_error:
+                append((t_depart, 0, seq, (depart, (sig_end, signal, nbytes))))
+            else:
+                # Sense-only neighbours and a perfect medium never consult
+                # the error model; deliver the end-of-signal directly.
+                append((t_depart, 0, seq, (sig_end, (signal, False))))
+        sched.bulk_heap_insert(items)
 
     def _depart(
         self,

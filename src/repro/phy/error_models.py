@@ -7,6 +7,22 @@ queueing behaviour.
 
 ``UniformBitError`` draws i.i.d. bit errors; ``GilbertElliott`` produces the
 bursty errors the paper mentions ("the errors occur in bursts").
+
+Hot path: ``frame_corrupted`` runs once per receivable frame departure, which
+makes it the single most-called model method in lossy-medium campaigns.  The
+fast paths below keep the ``random.Random`` draw *sequence* bit-identical to
+the naive formulations — replay determinism (golden traces, campaign
+fingerprints, manifest verification) depends on every run consuming the
+``phy.error`` stream in exactly the same order — while eliminating the
+per-frame transcendental math:
+
+* ``UniformBitError`` memoizes the frame-error probability per distinct
+  ``nbytes`` (frame sizes in a run are a handful of constants: RTS/CTS/ACK
+  control sizes plus the MSS), so steady state is one ``rng.random()`` and
+  one dict hit;
+* ``GilbertElliott`` delegates to two memoized ``UniformBitError`` tables
+  (its per-state probability caches) and advances its state boundary with
+  plain local-variable arithmetic.
 """
 
 from __future__ import annotations
@@ -14,6 +30,22 @@ from __future__ import annotations
 import math
 import random
 from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+
+def _validate_probability(name: str, value: float, upper_inclusive: bool) -> float:
+    """Reject NaN, negative and out-of-range rates with a uniform message."""
+    # Note the comparison shape: any comparison with NaN is False, so NaN
+    # fails the range check too and never reaches the arithmetic below.
+    if upper_inclusive:
+        ok = 0.0 <= value <= 1.0
+        bounds = "[0, 1]"
+    else:
+        ok = 0.0 <= value < 1.0
+        bounds = "[0, 1)"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value}")
+    return value
 
 
 class ErrorModel(ABC):
@@ -30,22 +62,40 @@ class NoError(ErrorModel):
     def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
         return False
 
+    def __repr__(self) -> str:
+        return "NoError()"
+
 
 class UniformBitError(ErrorModel):
-    """Independent bit errors at a fixed bit error rate (BER)."""
+    """Independent bit errors at a fixed bit error rate (BER).
+
+    P(frame error) = 1 - (1 - ber)^(8 * nbytes), evaluated in log space so it
+    stays accurate for tiny BERs.  ``log1p(-ber)`` is hoisted to construction
+    time and the resulting per-``nbytes`` survival probability is memoized,
+    so the per-frame cost is one RNG draw plus a dict lookup — with values
+    computed by exactly the historical expression, keeping every corruption
+    decision (and therefore the RNG draw sequence) bit-identical.
+    """
 
     def __init__(self, ber: float) -> None:
-        if not 0.0 <= ber < 1.0:
-            raise ValueError(f"ber must be in [0, 1), got {ber}")
-        self.ber = ber
+        self.ber = _validate_probability("ber", ber, upper_inclusive=False)
+        #: Hoisted ``log1p(-ber)``; per-frame code multiplies by ``8*nbytes``.
+        self._log_ok_per_bit = math.log1p(-ber) if ber > 0.0 else 0.0
+        #: nbytes -> P(frame survives); a run sees only a handful of frame
+        #: sizes (control frames + MSS), so this stays tiny.
+        self._p_ok: Dict[int, float] = {}
 
     def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
         if self.ber == 0.0:
             return False
-        # P(frame error) = 1 - (1 - ber)^(8 * nbytes), computed in log space
-        # to stay accurate for tiny BERs.
-        log_ok = 8 * nbytes * math.log1p(-self.ber)
-        return rng.random() >= math.exp(log_ok)
+        p_ok = self._p_ok.get(nbytes)
+        if p_ok is None:
+            # Exactly the historical grouping: (8 * nbytes) * log1p(-ber).
+            p_ok = self._p_ok[nbytes] = math.exp(8 * nbytes * self._log_ok_per_bit)
+        return rng.random() >= p_ok
+
+    def __repr__(self) -> str:
+        return f"UniformBitError(ber={self.ber!r})"
 
 
 class PacketErrorRate(ErrorModel):
@@ -56,12 +106,15 @@ class PacketErrorRate(ErrorModel):
     """
 
     def __init__(self, per: float) -> None:
-        if not 0.0 <= per <= 1.0:
-            raise ValueError(f"per must be in [0, 1], got {per}")
-        self.per = per
+        self.per = _validate_probability("per", per, upper_inclusive=True)
+        # Hoisted zero check: the lossless case must not consume RNG draws.
+        self._active = per > 0.0
 
     def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
-        return self.per > 0.0 and rng.random() < self.per
+        return self._active and rng.random() < self.per
+
+    def __repr__(self) -> str:
+        return f"PacketErrorRate(per={self.per!r})"
 
 
 class GilbertElliott(ErrorModel):
@@ -72,6 +125,12 @@ class GilbertElliott(ErrorModel):
     durations; the state is re-evaluated lazily from the elapsed time at each
     frame, which is exact for a two-state Markov chain observed at arbitrary
     instants.
+
+    The chain starts in the GOOD state, and the first GOOD dwell is drawn
+    lazily on first use (first ``frame_corrupted`` call): eagerly seeding
+    ``_state_until = 0.0`` used to make the very first advance toggle the
+    state before any dwell had elapsed, so a model documented to start GOOD
+    actually started BAD at t=0.
     """
 
     def __init__(
@@ -81,22 +140,64 @@ class GilbertElliott(ErrorModel):
         mean_good: float = 1.0,
         mean_bad: float = 0.05,
     ) -> None:
-        if mean_good <= 0 or mean_bad <= 0:
-            raise ValueError("state dwell times must be positive")
+        # ``mean <= 0`` would be False for NaN, so spell the check as "not
+        # positive" to reject NaN dwell times as well.
+        if not (mean_good > 0 and mean_bad > 0):
+            raise ValueError(
+                f"state dwell times must be positive, got "
+                f"mean_good={mean_good}, mean_bad={mean_bad}"
+            )
+        # The states are only meaningful when GOOD is the cleaner one; an
+        # inverted pair almost certainly swapped arguments.  (Equality is
+        # allowed: ber_good == ber_bad degenerates to a uniform channel.)
+        if ber_good > ber_bad:
+            raise ValueError(
+                f"ber_good ({ber_good}) must not exceed ber_bad ({ber_bad})"
+            )
+        # Per-state probability tables: memoized UniformBitError instances
+        # (they also validate/NaN-check the BERs).
         self._good = UniformBitError(ber_good)
         self._bad = UniformBitError(ber_bad)
         self.mean_good = mean_good
         self.mean_bad = mean_bad
         self._state_good = True
-        self._state_until = 0.0
+        #: End of the current dwell; None until the initial GOOD dwell is
+        #: drawn on first use.
+        self._state_until: Optional[float] = None
+
+    @property
+    def ber_good(self) -> float:
+        return self._good.ber
+
+    @property
+    def ber_bad(self) -> float:
+        return self._bad.ber
 
     def _advance(self, rng: random.Random, now: float) -> None:
-        while self._state_until <= now:
-            self._state_good = not self._state_good
-            mean = self.mean_good if self._state_good else self.mean_bad
-            self._state_until += rng.expovariate(1.0 / mean)
+        until = self._state_until
+        if until is None:
+            # Initial GOOD dwell, drawn at first observation.
+            until = rng.expovariate(1.0 / self.mean_good)
+        while until <= now:
+            self._state_good = good = not self._state_good
+            until += rng.expovariate(
+                1.0 / (self.mean_good if good else self.mean_bad)
+            )
+        self._state_until = until
 
     def frame_corrupted(self, rng: random.Random, nbytes: int, now: float) -> bool:
         self._advance(rng, now)
         model = self._good if self._state_good else self._bad
         return model.frame_corrupted(rng, nbytes, now)
+
+    def __repr__(self) -> str:
+        state = "GOOD" if self._state_good else "BAD"
+        until = (
+            "unstarted" if self._state_until is None
+            else f"{self._state_until:.6f}"
+        )
+        return (
+            f"GilbertElliott(ber_good={self.ber_good!r}, "
+            f"ber_bad={self.ber_bad!r}, mean_good={self.mean_good!r}, "
+            f"mean_bad={self.mean_bad!r}, state={state}, until={until})"
+        )

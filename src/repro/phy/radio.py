@@ -145,7 +145,9 @@ class Radio:
         """A transmission began arriving at this radio."""
         if self.down:
             return  # in-flight arrival at a powered-off radio: lost energy
-        was_busy = self.carrier_busy
+        # carrier_busy inlined: this runs once per fan-out arrival, and the
+        # property costs a Python-level descriptor call on the hot path.
+        was_busy = self._transmitting or bool(self._signals)
         if self._transmitting:
             signal.corrupted = True
         for other in self._signals:
@@ -188,5 +190,7 @@ class Radio:
                 self.listener.phy_receive(signal.frame)
             elif signal.receivable:
                 self.listener.phy_rx_error()
-        if not self.carrier_busy and self.listener is not None:
+        if self.listener is not None and not (
+            self._transmitting or self._signals
+        ):
             self.listener.phy_channel_idle()

@@ -1,0 +1,253 @@
+"""Lane-equivalence properties: the batch lane is byte-identical to scalar.
+
+The vectorized PHY batch lane (``repro.phy.batch``) carries a hard
+contract: lane choice may change speed only — never an event timestamp, a
+sequence number, an RNG draw or a result byte.  These tests attack the
+contract from below and above:
+
+* a channel-level harness runs random topologies × every error model ×
+  random transmission plans × fault vetoes under both lanes and compares a
+  full bit-level fingerprint (every ``signal_start``/``signal_end``
+  delivery with ``float.hex()`` timestamps, decode counters, the
+  ``phy.error`` RNG end state);
+* full-stack checks compare ``stable_digest`` of complete scenario runs
+  (with random loss and a fault plan) and campaign metric bytes across
+  lanes.
+
+Everything here is skipped when numpy is absent: without it both lanes
+resolve to ``scalar`` and the comparison is vacuous.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import (
+    ScenarioConfig,
+    chain_grid,
+    run_campaign,
+    run_chain,
+)
+from repro.experiments.config import stable_digest
+from repro.faults import FaultEvent, FaultPlan
+from repro.phy import (
+    HAVE_NUMPY,
+    NUMPY_MIN_FANOUT,
+    GilbertElliott,
+    NoError,
+    PacketErrorRate,
+    Position,
+    Radio,
+    UniformBitError,
+    WirelessChannel,
+)
+from repro.sim.simulator import Simulator
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="batch lane requires numpy"
+)
+
+
+class _Frame:
+    __slots__ = ("size_bytes",)
+
+    def __init__(self, size_bytes):
+        self.size_bytes = size_bytes
+
+
+#: One factory per error-model family; fresh instances per run (the models
+#: carry mutable state: memo tables, the GE state machine).
+ERROR_FACTORIES = {
+    "none": lambda: NoError(),
+    "ber": lambda: UniformBitError(ber=2e-5),
+    "per": lambda: PacketErrorRate(per=0.2),
+    "ge": lambda: GilbertElliott(
+        ber_good=1e-6, ber_bad=2e-3, mean_good=0.02, mean_bad=0.005
+    ),
+}
+
+
+def _record_deliveries(radio, trace):
+    """Wrap a radio's signal callbacks to log every delivery bit-exactly.
+
+    Instance-attribute wrappers installed *before* the channel builds its
+    fan-out cache, so both lanes capture (and call through) the same
+    wrappers.  ``float.hex()`` makes timestamp comparison bitwise.
+    """
+    orig_start, orig_end = radio.signal_start, radio.signal_end
+
+    def start(signal):
+        trace.append(
+            ("start", radio.sim.now.hex(), radio.node_id,
+             signal.end_time.hex(), signal.power.hex(), signal.receivable)
+        )
+        orig_start(signal)
+
+    def end(signal, corrupted_by_medium):
+        trace.append(
+            ("end", radio.sim.now.hex(), radio.node_id,
+             signal.receivable, signal.corrupted, corrupted_by_medium)
+        )
+        orig_end(signal, corrupted_by_medium)
+
+    radio.signal_start = start
+    radio.signal_end = end
+
+
+def _normalize_plan(raw_plan, n_radios):
+    """Turn raw hypothesis draws into a runnable transmission plan.
+
+    A radio must not key up while already transmitting, so entries that
+    would overlap an earlier transmission from the same source are dropped.
+    Pure plan-side arithmetic — the result is identical for both lanes.
+    """
+    busy_until = {}
+    plan = []
+    for tick, src_raw, dur_ticks, nbytes in sorted(raw_plan):
+        src = src_raw % n_radios
+        t = tick * 1e-3
+        duration = dur_ticks * 1e-4
+        if t < busy_until.get(src, 0.0):
+            continue
+        busy_until[src] = t + duration
+        plan.append((t, src, duration, nbytes))
+    return plan
+
+
+def _run_lane(lane, seed, coords, error_key, plan, down_nodes, blocked_links):
+    """Execute one plan under ``lane`` and return its full fingerprint."""
+    sim = Simulator(seed=seed)
+    channel = WirelessChannel(
+        sim, error_model=ERROR_FACTORIES[error_key](), phy_lane=lane
+    )
+    trace = []
+    radios = []
+    for i, (x, y) in enumerate(coords):
+        radio = Radio(sim, i)
+        _record_deliveries(radio, trace)
+        channel.register(radio, Position(x, y))
+        radios.append(radio)
+    for node in down_nodes:
+        channel.set_node_down(node % len(radios), True)
+    for a, b in blocked_links:
+        channel.block_link(a % len(radios), b % len(radios))
+    for t, src, duration, nbytes in plan:
+        sim.at(t, channel.transmit, radios[src], _Frame(nbytes), duration)
+    sim.run(until=12.0)
+    return (
+        tuple(trace),
+        tuple((r.rx_ok, r.collisions, r.medium_errors) for r in radios),
+        channel.transmissions,
+        sim.stream("phy.error").getstate(),
+    )
+
+
+coords_st = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)).map(
+        lambda p: (p[0] * 30.0, p[1] * 30.0)
+    ),
+    min_size=2,
+    max_size=10,
+    unique=True,
+)
+
+raw_plan_st = st.lists(
+    st.tuples(
+        st.integers(0, 9999),          # start time, milliseconds
+        st.integers(0, 63),            # source index (mod #radios)
+        st.integers(1, 8),             # duration, 0.1 ms units
+        st.sampled_from([40, 512, 1460]),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@needs_numpy
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    coords=coords_st,
+    error_key=st.sampled_from(sorted(ERROR_FACTORIES)),
+    raw_plan=raw_plan_st,
+    seed=st.integers(0, 2**16),
+    down=st.sets(st.integers(0, 63), max_size=2),
+    blocks=st.sets(
+        st.tuples(st.integers(0, 63), st.integers(0, 63)), max_size=2
+    ),
+)
+def test_lanes_bit_identical_on_random_topologies(
+    coords, error_key, raw_plan, seed, down, blocks
+):
+    plan = _normalize_plan(raw_plan, len(coords))
+    fingerprints = {
+        lane: _run_lane(
+            lane, seed, coords, error_key, plan, sorted(down), sorted(blocks)
+        )
+        for lane in ("scalar", "batch")
+    }
+    assert fingerprints["scalar"] == fingerprints["batch"]
+
+
+@needs_numpy
+@pytest.mark.parametrize("error_key", sorted(ERROR_FACTORIES))
+def test_lanes_bit_identical_on_a_wide_fanout(error_key):
+    """A dense cluster wide enough (>= NUMPY_MIN_FANOUT neighbours) that the
+    batch lane's numpy kernel — not its small-fan-out loop — is what runs."""
+    width = NUMPY_MIN_FANOUT + 5
+    coords = [(i * 10.0, 0.0) for i in range(width + 1)]
+    plan = _normalize_plan(
+        [(i * 37, i % (width + 1), 4, 1460) for i in range(30)], width + 1
+    )
+    fingerprints = {
+        lane: _run_lane(lane, 5, coords, error_key, plan, [], [])
+        for lane in ("scalar", "batch")
+    }
+    assert fingerprints["scalar"] == fingerprints["batch"]
+
+
+@needs_numpy
+def test_full_stack_digests_identical_across_lanes_with_loss_and_faults():
+    """Complete protocol-stack runs (TCP over AODV over the MAC) under
+    random loss and a mid-run node crash serialize byte-identically."""
+    plan = FaultPlan(events=(
+        FaultEvent(time=0.5, kind="node_crash", node=1, duration=0.4),
+    ))
+    digests = {}
+    for lane in ("scalar", "batch"):
+        config = ScenarioConfig(
+            sim_time=3.0, seed=11, window=4, packet_error_rate=0.05,
+            faults=plan, phy_lane=lane,
+        )
+        result = run_chain(3, ["muzha"], config=config)
+        digests[lane] = stable_digest(result.to_dict())
+    assert digests["scalar"] == digests["batch"]
+
+
+@needs_numpy
+def test_campaign_metric_bytes_identical_across_lanes():
+    """Campaign results carry the lane in their configs (cache keys must
+    distinguish them) but every run's canonical metric bytes are equal."""
+    def build(lane):
+        config = ScenarioConfig(
+            sim_time=1.0, window=4, packet_error_rate=0.1, phy_lane=lane
+        )
+        return chain_grid(["muzha", "newreno"], [2, 3], config=config)
+
+    def metric_bytes(result):
+        return {
+            (r.run.scenario, r.run.replication): r.metrics_bytes()
+            for r in result.records
+        }
+
+    results = {
+        lane: run_campaign(
+            build(lane), replications=2, jobs=1, pool_mode="inproc"
+        )
+        for lane in ("scalar", "batch")
+    }
+    assert all(r.complete for r in results.values())
+    assert metric_bytes(results["scalar"]) == metric_bytes(results["batch"])

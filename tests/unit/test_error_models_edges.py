@@ -77,8 +77,88 @@ def test_gilbert_elliott_dwell_times_validated():
         GilbertElliott(mean_bad=-1.0)
 
 
+def test_nan_rates_rejected_everywhere():
+    nan = float("nan")
+    with pytest.raises(ValueError):
+        UniformBitError(nan)
+    with pytest.raises(ValueError):
+        PacketErrorRate(nan)
+    with pytest.raises(ValueError):
+        GilbertElliott(ber_good=nan)
+    with pytest.raises(ValueError):
+        GilbertElliott(ber_bad=nan)
+    with pytest.raises(ValueError):
+        GilbertElliott(mean_good=nan)
+    with pytest.raises(ValueError):
+        GilbertElliott(mean_bad=nan)
+
+
+def test_ge_inverted_ber_ordering_rejected():
+    """GOOD must be the cleaner state; a swapped pair is a config bug."""
+    with pytest.raises(ValueError):
+        GilbertElliott(ber_good=0.01, ber_bad=0.001)
+    # Equality degenerates to a uniform channel and stays legal.
+    GilbertElliott(ber_good=0.01, ber_bad=0.01)
+
+
+def test_ge_repr_surfaces_state():
+    model = GilbertElliott(ber_good=0.0, ber_bad=0.5,
+                           mean_good=0.5, mean_bad=0.5)
+    assert "state=GOOD" in repr(model)
+    assert "unstarted" in repr(model)
+    rng = random.Random(3)
+    model.frame_corrupted(rng, FRAME, 0.0)
+    assert "unstarted" not in repr(model)
+    assert "state=GOOD" in repr(model) or "state=BAD" in repr(model)
+
+
+def test_uniform_bit_error_memo_matches_direct_formula():
+    """The memoized survival probability is exactly the historical
+    expression, so corruption decisions (and RNG draw counts) are
+    bit-identical to the unmemoized model."""
+    import math
+
+    model = UniformBitError(1e-5)
+    for nbytes in (40, 512, 1460):
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        direct_p_ok = math.exp(8 * nbytes * math.log1p(-1e-5))
+        for t in range(200):
+            got = model.frame_corrupted(rng_a, nbytes, float(t))
+            assert got == (rng_b.random() >= direct_p_ok)
+        assert rng_a.getstate() == rng_b.getstate()
+
+
 # ---------------------------------------------------------------------------
 # Gilbert–Elliott state persistence
+
+
+def test_ge_starts_good_at_t_zero():
+    """Regression: the chain is documented to start GOOD, but the eager
+    ``_state_until = 0.0`` seed made the first advance toggle to BAD before
+    any dwell had elapsed.  With a certain-loss BAD state and a lossless
+    GOOD state, a t=0 frame must survive whenever the first GOOD dwell is
+    still running."""
+    for seed in range(20):
+        model = GilbertElliott(ber_good=0.0, ber_bad=0.999999,
+                               mean_good=1000.0, mean_bad=1000.0)
+        rng = random.Random(seed)
+        corrupted = model.frame_corrupted(rng, FRAME, 0.0)
+        # mean_good=1000 makes a dwell shorter than 0 s astronomically
+        # unlikely; the first observation must still be in GOOD.
+        assert model._state_good
+        assert not corrupted
+
+
+def test_ge_initial_dwell_is_drawn_from_mean_good():
+    """The lazy initial dwell uses the GOOD mean (state GOOD from t=0), and
+    an identical RNG reproduces it exactly."""
+    model = GilbertElliott(ber_good=0.0, ber_bad=0.5,
+                           mean_good=0.25, mean_bad=123.0)
+    rng = random.Random(11)
+    expected_first_dwell = random.Random(11).expovariate(1.0 / 0.25)
+    model.frame_corrupted(rng, FRAME, 0.0)
+    if model._state_good and model._state_until is not None:
+        assert model._state_until == pytest.approx(expected_first_dwell)
 
 
 def test_ge_state_persists_across_calls():

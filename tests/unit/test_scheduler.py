@@ -384,3 +384,164 @@ def test_reentrant_run_raises():
 
     sched.schedule(1.0, reenter)
     sched.run()
+
+
+# ---------------------------------------------------------------------------
+# schedule_batch — the PHY fan-out bulk-insertion API
+
+
+def test_schedule_batch_empty_is_noop():
+    sched = EventScheduler()
+    assert sched.schedule_batch([]) == 0
+    assert sched.pending_events == 0
+    sched.run()
+    assert sched.processed_events == 0
+
+
+def test_schedule_batch_runs_in_time_order():
+    sched = EventScheduler()
+    order = []
+    assert sched.schedule_batch([
+        (2.0, order.append, ("b",), None),
+        (1.0, order.append, ("a",), None),
+        (3.0, order.append, ("c",), None),
+    ]) == 3
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_schedule_batch_ties_fire_in_entry_order():
+    sched = EventScheduler()
+    order = []
+    sched.schedule_batch([(1.0, order.append, (label,), None) for label in "abcde"])
+    sched.run()
+    assert order == list("abcde")
+
+
+def test_schedule_batch_interleaves_with_scalar_schedule_by_seq():
+    """Batch entries and scalar schedule calls share one seq counter, so
+    equal-timestamp events fire in overall insertion order regardless of
+    which API inserted them."""
+    sched = EventScheduler()
+    order = []
+    sched.schedule(1.0, order.append, "s1")
+    sched.schedule_batch([
+        (1.0, order.append, ("b1",), None),
+        (1.0, order.append, ("b2",), None),
+    ])
+    sched.schedule(1.0, order.append, "s2")
+    sched.schedule_batch([(1.0, order.append, ("b3",), None)])
+    sched.run()
+    assert order == ["s1", "b1", "b2", "s2", "b3"]
+
+
+def test_schedule_batch_matches_scalar_schedule_execution_for_execution():
+    """A batch insert executes identically to the same sequence of scalar
+    schedule() calls: same order, same clock stops, same counters."""
+
+    def fill(sched, use_batch):
+        order = []
+        entries = [
+            (0.5, lambda: order.append(("x", sched.now)), (), "phy.sig_start"),
+            (0.5, lambda: order.append(("y", sched.now)), (), "phy.sig_end"),
+            (0.2, lambda: order.append(("z", sched.now)), (), None),
+        ]
+        if use_batch:
+            sched.schedule_batch(entries)
+        else:
+            for t, cb, args, name in entries:
+                sched.schedule(t, cb, *args, name=name)
+        return order
+
+    a, b = EventScheduler(), EventScheduler()
+    order_a = fill(a, use_batch=True)
+    order_b = fill(b, use_batch=False)
+    assert a.pending_events == b.pending_events == 3
+    a.run(), b.run()
+    assert order_a == order_b == [("z", 0.2), ("x", 0.5), ("y", 0.5)]
+    assert a.processed_events == b.processed_events == 3
+    assert a.pending_events == b.pending_events == 0
+
+
+def test_schedule_batch_into_past_raises_and_keeps_earlier_entries():
+    sched = EventScheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.run()  # now == 1.0
+    fired = []
+    with pytest.raises(SchedulerError):
+        sched.schedule_batch([
+            (2.0, fired.append, ("ok",), None),
+            (0.5, fired.append, ("past",), None),
+        ])
+    # the valid leading entry stays scheduled, as with individual calls
+    assert sched.pending_events == 1
+    sched.run()
+    assert fired == ["ok"]
+
+
+def test_schedule_batch_seq_counter_survives_a_past_time_error():
+    """After a mid-batch error, later scalar inserts continue the seq
+    sequence from the last successfully scheduled batch entry."""
+    sched = EventScheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.run()
+    order = []
+    with pytest.raises(SchedulerError):
+        sched.schedule_batch([
+            (2.0, order.append, ("batch",), None),
+            (0.0, order.append, ("past",), None),
+        ])
+    sched.schedule(2.0, order.append, "scalar")
+    sched.run()
+    assert order == ["batch", "scalar"]
+
+
+def test_schedule_batch_entries_run_under_step_and_peek():
+    """The fire-and-forget heap entries work through every execution path,
+    not just run(): step() dispatches them and peek_time() sees them."""
+    sched = EventScheduler()
+    order = []
+    sched.schedule_batch([
+        (1.0, order.append, ("a",), None),
+        (2.0, order.append, ("b",), None),
+    ])
+    assert sched.peek_time() == 1.0
+    assert sched.step()
+    assert order == ["a"] and sched.now == 1.0
+    assert sched.peek_time() == 2.0
+    assert sched.step()
+    assert not sched.step()
+    assert order == ["a", "b"]
+
+
+def test_schedule_batch_entries_do_not_touch_the_freelist():
+    """Batch entries are Event-free: they neither consume recycled events
+    nor park anything on the freelist when they fire."""
+    sched = EventScheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.schedule(1.0, lambda: None)
+    sched.run()  # both events retire to the freelist
+    before = len(sched._free)
+    assert before >= 2
+    sched.schedule_batch([
+        (2.0, (lambda: None), (), None),
+        (2.0, (lambda: None), (), None),
+    ])
+    assert len(sched._free) == before
+    sched.run()
+    assert len(sched._free) == before
+
+
+def test_cancelling_around_batch_entries_is_exact():
+    """Scalar events interleaved with (uncancellable) batch entries cancel
+    cleanly; the lazy-deletion sweep must recycle only real Events."""
+    sched = EventScheduler()
+    fired = []
+    doomed = sched.schedule(1.0, fired.append, "scalar-doomed")
+    sched.schedule_batch([(1.0, fired.append, ("batch",), None)])
+    keeper = sched.schedule(1.0, fired.append, "scalar-kept")
+    sched.cancel(doomed)
+    assert sched.pending_events == 2
+    sched.run()
+    assert fired == ["batch", "scalar-kept"]
+    assert keeper.fired
