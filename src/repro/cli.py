@@ -6,7 +6,11 @@ Subcommands mirror the paper's three simulations plus the parameter tables:
 * ``repro-muzha sweep --window 8`` — Figs 5.8–5.13 series;
 * ``repro-muzha cross --a newreno --b muzha`` — Simulation 3A coexistence;
 * ``repro-muzha dynamics --variant muzha`` — Simulation 3B staggered flows;
-* ``repro-muzha campaign --jobs 4`` — parallel cached scenario campaigns;
+* ``repro-muzha campaign --jobs 4`` — parallel cached scenario campaigns
+  (``--spans out.ndjson`` streams live campaign telemetry);
+* ``repro-muzha report out.ndjson`` — aggregate a campaign span log into a
+  human-readable summary (throughput, worker utilization, cache hit ratio,
+  retries/quarantine, slowest units);
 * ``repro-muzha trace chain --out run.ndjson`` — traced run: NDJSON/CSV
   event trace + provenance manifest (+ optional flight-recorder dumps);
 * ``repro-muzha stats chain`` — metrics snapshot of a run (rollup tables
@@ -47,7 +51,15 @@ from .experiments import (
     throughput_retransmit_sweep,
 )
 from .faults import FaultPlan, FaultPlanError
-from .obs import CsvTraceSink, FlightRecorder, NdjsonTraceSink, attach_run_probe
+from .obs import (
+    CampaignTelemetry,
+    CsvTraceSink,
+    FlightRecorder,
+    NdjsonTraceSink,
+    SpanWriter,
+    attach_run_probe,
+    render_report,
+)
 from .phy.batch import LANES
 from .stats import jain_index, resample
 
@@ -227,16 +239,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         backoff=args.retry_backoff,
     )
-    result = run_campaign(
-        grid,
-        replications=args.replications,
-        base_seed=args.seed,
-        jobs=jobs,
-        cache=cache,
-        progress=report if not args.quiet else None,
-        policy=policy,
-        pool_mode=args.pool_mode,
-    )
+    telemetry = None
+    span_writer = None
+    if args.spans:
+        span_writer = SpanWriter(args.spans)
+        telemetry = CampaignTelemetry(
+            span_writer, heartbeat_interval=args.heartbeat_interval
+        )
+    try:
+        result = run_campaign(
+            grid,
+            replications=args.replications,
+            base_seed=args.seed,
+            jobs=jobs,
+            cache=cache,
+            progress=report if not args.quiet else None,
+            policy=policy,
+            pool_mode=args.pool_mode,
+            telemetry=telemetry,
+        )
+    finally:
+        if span_writer is not None:
+            span_writer.close()
     elapsed = time.time() - started
 
     rows = []
@@ -256,8 +280,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                        title="campaign means"))
     print(
         f"\n{result.executed} simulated, {result.cache_hits} cache hits, "
-        f"{len(result.failed)} failed, {elapsed:.1f}s wall"
+        f"{len(result.failed)} failed, {result.cache_evictions} cache "
+        f"evictions, {elapsed:.1f}s wall"
     )
+    if span_writer is not None:
+        print(f"{span_writer.records_written} telemetry records written to "
+              f"{args.spans} (summarise with `repro-muzha report "
+              f"{args.spans}`)")
     if result.failed:
         print("\nquarantined runs (campaign results above are PARTIAL):")
         for failure in result.failed:
@@ -393,6 +422,19 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import SpanLogError
+
+    try:
+        print(render_report(args.spanlog, as_json=args.json,
+                            buckets=args.buckets, top_k=args.top))
+    except FileNotFoundError:
+        raise SystemExit(f"span log not found: {args.spanlog}")
+    except SpanLogError as exc:
+        raise SystemExit(f"bad span log {args.spanlog}: {exc}")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     print(format_table(["Parameter", "Range"], Table51Parameters().rows(),
                        title="Table 5.1 — Simulation parameters"))
@@ -492,6 +534,14 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="SECONDS",
                           help="base delay before a retry (doubles per "
                                "attempt)")
+    campaign.add_argument("--spans", default=None, metavar="PATH",
+                          help="stream campaign telemetry (spans, worker "
+                               "heartbeats, cache/retry events, progress) as "
+                               "NDJSON to PATH — or to an inherited pipe via "
+                               "'fd:N'; summarise with `repro-muzha report`")
+    campaign.add_argument("--heartbeat-interval", type=float, default=1.0,
+                          metavar="SECONDS",
+                          help="worker heartbeat period in the span stream")
     _add_faults(campaign)
     _add_policy(campaign)
     campaign.set_defaults(func=_cmd_campaign)
@@ -555,6 +605,19 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--out", default=None, metavar="PATH",
                          help="also dump raw pstats data to PATH")
     profile.set_defaults(func=_cmd_profile)
+
+    report_p = sub.add_parser(
+        "report", help="summarise a campaign telemetry span log"
+    )
+    report_p.add_argument("spanlog", metavar="SPANLOG.ndjson",
+                          help="NDJSON span log from `campaign --spans`")
+    report_p.add_argument("--json", action="store_true",
+                          help="emit the aggregate summary as JSON")
+    report_p.add_argument("--top", type=int, default=10, metavar="K",
+                          help="slowest units to list")
+    report_p.add_argument("--buckets", type=int, default=20, metavar="N",
+                          help="throughput timeline resolution")
+    report_p.set_defaults(func=_cmd_report)
 
     tables = sub.add_parser("tables", help="print Tables 5.1 and 5.2")
     tables.set_defaults(func=_cmd_tables)

@@ -68,6 +68,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs.engine import CampaignTelemetry
 from ..sim.rng import derive_run_seed
 from .config import CACHE_SCHEMA_VERSION, ScenarioConfig, stable_digest
 from .runner import RunResult, RunSpec, execute_run
@@ -302,6 +303,10 @@ class CampaignResult:
 
     records: List[RunRecord] = field(default_factory=list)
     failed: List[FailedRun] = field(default_factory=list)
+    #: Corrupt cache entries evicted (and recomputed) during this campaign —
+    #: the delta of :attr:`CampaignCache.evictions` across the run.  An
+    #: environment fact: eviction forces recomputation, never different bytes.
+    cache_evictions: int = 0
 
     @property
     def complete(self) -> bool:
@@ -474,6 +479,7 @@ class _Attempt:
     process: Any
     conn: Any
     deadline: Optional[float]  # time.monotonic watchdog cutoff
+    wid: str = ""  # telemetry worker id ("p<pid>")
 
 
 def _terminate(process) -> None:
@@ -539,6 +545,7 @@ class _WarmWorker:
 
     process: Any
     conn: Any
+    wid: str = ""  # telemetry worker id ("w<n>", stable across the campaign)
     batch: List[Tuple[CampaignRun, int]] = field(default_factory=list)
     deadline: Optional[float] = None
 
@@ -553,6 +560,7 @@ def _run_warm_pool(
     policy: RetryPolicy,
     store: Callable[[CampaignRun, Dict[str, Any], Optional[Dict[str, Any]]], None],
     quarantine: Callable[[FailedRun], None],
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> None:
     """Run ``pending`` on a persistent pool of ``jobs`` warm workers.
 
@@ -576,20 +584,26 @@ def _run_warm_pool(
     # (ready_time, run, attempt) — ready_time is a monotonic timestamp.
     queue: List[Tuple[float, CampaignRun, int]] = [(0.0, run, 1) for run in pending]
     workers: Dict[Any, _WarmWorker] = {}  # conn -> worker
+    worker_serial = itertools.count(1)
 
-    def spawn() -> None:
+    def spawn(replacement: bool = False) -> None:
         parent, child = ctx.Pipe(duplex=True)
         process = ctx.Process(
             target=_warm_worker_main, args=(child,), daemon=True
         )
         process.start()
         child.close()
-        workers[parent] = _WarmWorker(process=process, conn=parent)
+        wid = f"w{next(worker_serial)}"
+        workers[parent] = _WarmWorker(process=process, conn=parent, wid=wid)
+        if telemetry is not None:
+            telemetry.worker_spawned(wid, process.pid, replacement=replacement)
 
     def handle_failure(run: CampaignRun, attempt: int, error: str) -> None:
         if attempt <= policy.max_retries:
-            ready = time.monotonic() + policy.retry_delay(attempt)
-            queue.append((ready, run, attempt + 1))
+            delay = policy.retry_delay(attempt)
+            if telemetry is not None:
+                telemetry.retry_scheduled(run.index, attempt, delay, error)
+            queue.append((time.monotonic() + delay, run, attempt + 1))
         else:
             quarantine(FailedRun(run=run, error=error, attempts=attempt))
 
@@ -614,16 +628,34 @@ def _run_warm_pool(
         code = worker.process.exitcode
         if worker.batch:
             run, attempt = worker.batch.pop(0)
-            handle_failure(run, attempt, f"worker crashed (exit code {code})")
+            error = f"worker crashed (exit code {code})"
+            if telemetry is not None:
+                telemetry.unit_result(
+                    worker.wid, run.index, attempt, "crash",
+                    scenario=run.scenario[:12], replication=run.replication,
+                    error=error,
+                )
+            handle_failure(run, attempt, error)
             requeue_innocent(worker)
+        if telemetry is not None:
+            telemetry.worker_exited(worker.wid, "crash", exitcode=code)
 
     def on_worker_timeout(worker: _WarmWorker) -> None:
         retire(worker, kill=True)
         run, attempt = worker.batch.pop(0)
-        handle_failure(
-            run, attempt, f"timed out after {policy.task_timeout:g}s wall clock"
-        )
+        error = f"timed out after {policy.task_timeout:g}s wall clock"
+        if telemetry is not None:
+            telemetry.unit_result(
+                worker.wid, run.index, attempt, "timeout",
+                scenario=run.scenario[:12], replication=run.replication,
+                error=error,
+            )
+        handle_failure(run, attempt, error)
         requeue_innocent(worker)
+        if telemetry is not None:
+            telemetry.worker_exited(
+                worker.wid, "timeout", exitcode=worker.process.exitcode
+            )
 
     def on_message(worker: _WarmWorker, message: Tuple[Any, ...]) -> None:
         run, attempt = worker.batch.pop(0)
@@ -634,8 +666,20 @@ def _run_warm_pool(
             else None
         )
         if message[0] == "ok":
+            if telemetry is not None:
+                telemetry.unit_result(
+                    worker.wid, run.index, attempt, "ok",
+                    scenario=run.scenario[:12], replication=run.replication,
+                    manifest=message[3],
+                )
             store(run, message[2], message[3])
         else:
+            if telemetry is not None:
+                telemetry.unit_result(
+                    worker.wid, run.index, attempt, "error",
+                    scenario=run.scenario[:12], replication=run.replication,
+                    error=message[2],
+                )
             handle_failure(run, attempt, message[2])
 
     def dispatch() -> None:
@@ -674,6 +718,11 @@ def _run_warm_pool(
                 # un-charged and let the wait loop reap the (now idle)
                 # corpse without blaming the head unit.
                 requeue_innocent(worker)
+            else:
+                if telemetry is not None:
+                    telemetry.batch_dispatched(
+                        worker.wid, [run.index for run, _ in chunk]
+                    )
         queue.extend((0.0, run, attempt) for run, attempt in handout)
 
     for _ in range(target_workers):
@@ -686,8 +735,10 @@ def _run_warm_pool(
             while len(workers) < target_workers and (
                 queue or any(not w.idle for w in workers.values())
             ):
-                spawn()
+                spawn(replacement=True)
             dispatch()
+            if telemetry is not None:
+                telemetry.tick()
             now = time.monotonic()
             timeout = 0.5
             deadlines = [
@@ -734,6 +785,10 @@ def _run_warm_pool(
             worker.process.join(timeout=1.0)
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 _terminate(worker.process)
+            if telemetry is not None:
+                telemetry.worker_exited(
+                    worker.wid, "stop", exitcode=worker.process.exitcode
+                )
         workers.clear()
 
 
@@ -743,6 +798,7 @@ def _run_supervised(
     policy: RetryPolicy,
     store: Callable[[CampaignRun, Dict[str, Any], Optional[Dict[str, Any]]], None],
     quarantine: Callable[[FailedRun], None],
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> None:
     """Run ``pending`` under crash/hang supervision, ``jobs`` at a time.
 
@@ -776,14 +832,32 @@ def _run_supervised(
             deadline = (
                 now + policy.task_timeout if policy.task_timeout is not None else None
             )
-            active[parent] = _Attempt(run, attempt, process, parent, deadline)
+            wid = f"p{process.pid}"
+            active[parent] = _Attempt(run, attempt, process, parent, deadline, wid)
+            if telemetry is not None:
+                telemetry.worker_spawned(wid, process.pid)
+                telemetry.batch_dispatched(wid, [run.index])
 
     def handle_failure(entry: _Attempt, error: str) -> None:
         if entry.attempt <= policy.max_retries:
-            ready = time.monotonic() + policy.retry_delay(entry.attempt)
-            queue.append((ready, entry.run, entry.attempt + 1))
+            delay = policy.retry_delay(entry.attempt)
+            if telemetry is not None:
+                telemetry.retry_scheduled(
+                    entry.run.index, entry.attempt, delay, error
+                )
+            queue.append((time.monotonic() + delay, entry.run, entry.attempt + 1))
         else:
             quarantine(FailedRun(run=entry.run, error=error, attempts=entry.attempt))
+
+    def unit_span(entry: _Attempt, status: str, *, manifest=None,
+                  error=None) -> None:
+        if telemetry is not None:
+            telemetry.unit_result(
+                entry.wid, entry.run.index, entry.attempt, status,
+                scenario=entry.run.scenario[:12],
+                replication=entry.run.replication,
+                manifest=manifest, error=error,
+            )
 
     def reap(conn, timed_out: bool) -> None:
         entry = active.pop(conn)
@@ -796,20 +870,37 @@ def _run_supervised(
         conn.close()
         if timed_out:
             _terminate(entry.process)
-            handle_failure(
-                entry,
-                f"timed out after {policy.task_timeout:g}s wall clock",
-            )
+            error = f"timed out after {policy.task_timeout:g}s wall clock"
+            unit_span(entry, "timeout", error=error)
+            if telemetry is not None:
+                telemetry.worker_exited(
+                    entry.wid, "timeout", exitcode=entry.process.exitcode
+                )
+            handle_failure(entry, error)
             return
         entry.process.join()
         if message is not None and message[0] == "ok":
             _, _, metrics, manifest = message
+            unit_span(entry, "ok", manifest=manifest)
+            if telemetry is not None:
+                telemetry.worker_exited(
+                    entry.wid, "stop", exitcode=entry.process.exitcode
+                )
             store(entry.run, metrics, manifest)
         elif message is not None:
+            unit_span(entry, "error", error=message[2])
+            if telemetry is not None:
+                telemetry.worker_exited(
+                    entry.wid, "stop", exitcode=entry.process.exitcode
+                )
             handle_failure(entry, message[2])
         else:
             code = entry.process.exitcode
-            handle_failure(entry, f"worker crashed (exit code {code})")
+            error = f"worker crashed (exit code {code})"
+            unit_span(entry, "crash", error=error)
+            if telemetry is not None:
+                telemetry.worker_exited(entry.wid, "crash", exitcode=code)
+            handle_failure(entry, error)
 
     while queue or active:
         launch_ready()
@@ -851,6 +942,7 @@ def run_campaign(
     progress: Optional[ProgressFn] = None,
     policy: Optional[RetryPolicy] = None,
     pool_mode: str = "warm",
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> CampaignResult:
     """Run every ``(spec, replication)`` in ``grid``; return ordered records.
 
@@ -871,6 +963,12 @@ def run_campaign(
     to in-process execution in every mode — a single-slot pool buys nothing
     over running the units directly.
 
+    ``telemetry`` (a :class:`repro.obs.engine.CampaignTelemetry`) streams
+    spans, coordinator events, worker heartbeats and progress over NDJSON as
+    the campaign runs.  It observes the coordinator only — nothing telemetry
+    does can reach a worker or a result, so metrics and fingerprints are
+    byte-identical with telemetry on or off.
+
     The returned records are always in grid order, and their metrics are
     byte-identical for any ``jobs`` value and any ``pool_mode``: seeds come
     from :func:`plan_campaign`, never from scheduling.
@@ -888,11 +986,20 @@ def run_campaign(
     records: Dict[int, RunRecord] = {}
     failed: List[FailedRun] = []
     done = 0
+    evictions_before = cache.evictions if cache is not None else 0
+
+    if telemetry is not None:
+        telemetry.begin_campaign(
+            len(runs), pool_mode, jobs,
+            base_seed=base_seed, replications=replications,
+        )
 
     def finish(record: RunRecord) -> None:
         nonlocal done
         records[record.run.index] = record
         done += 1
+        if telemetry is not None:
+            telemetry.progress(done, len(runs), len(failed))
         if progress is not None:
             progress(record, done, len(runs))
 
@@ -900,14 +1007,35 @@ def run_campaign(
         nonlocal done
         failed.append(failure)
         done += 1
+        if telemetry is not None:
+            telemetry.quarantined(
+                failure.run.index, failure.attempts, failure.error
+            )
+            telemetry.progress(done, len(runs), len(failed))
 
     pending: List[CampaignRun] = []
     for run in runs:
-        payload = cache.get(run.digest) if cache is not None else None
+        payload = None
+        if cache is not None:
+            seen_evictions = cache.evictions
+            payload = cache.get(run.digest)
+            if telemetry is not None and cache.evictions > seen_evictions:
+                telemetry.cache_evicted(run.index, run.digest)
         if payload is not None:
+            if telemetry is not None:
+                telemetry.cache_hit(run.index, run.digest)
+                # Cached units get a span too (consumers see every unit),
+                # but no manifest: its timings/engine facts describe the
+                # original execution, not this campaign.
+                telemetry.unit_result(
+                    "cache", run.index, 0, "ok", cached=True,
+                    scenario=run.scenario[:12], replication=run.replication,
+                )
             finish(RunRecord(run=run, metrics=payload["result"], cached=True,
                              manifest=payload.get("manifest")))
         else:
+            if telemetry is not None and cache is not None:
+                telemetry.cache_miss(run.index, run.digest)
             pending.append(run)
 
     def store(run: CampaignRun, metrics: Dict[str, Any],
@@ -923,6 +1051,8 @@ def run_campaign(
         # In-process fast path: no fork, no pipes.  Exceptions are retried
         # without backoff (an in-process failure is deterministic; sleeping
         # between identical attempts buys nothing) and then quarantined.
+        if telemetry is not None:
+            telemetry.worker_spawned("main", os.getpid())
         for run in pending:
             attempt = 0
             while True:
@@ -930,23 +1060,50 @@ def run_campaign(
                 try:
                     _, metrics, manifest = _execute_unit((run.index, run.spec))
                 except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    if telemetry is not None:
+                        telemetry.unit_result(
+                            "main", run.index, attempt, "error",
+                            scenario=run.scenario[:12],
+                            replication=run.replication, error=error,
+                        )
                     if attempt <= policy.max_retries:
+                        if telemetry is not None:
+                            telemetry.retry_scheduled(
+                                run.index, attempt, 0.0, error
+                            )
                         continue
                     quarantine(FailedRun(
-                        run=run,
-                        error=f"{type(exc).__name__}: {exc}",
-                        attempts=attempt,
+                        run=run, error=error, attempts=attempt,
                     ))
                     break
+                if telemetry is not None:
+                    telemetry.unit_result(
+                        "main", run.index, attempt, "ok",
+                        scenario=run.scenario[:12],
+                        replication=run.replication, manifest=manifest,
+                    )
                 store(run, metrics, manifest)
                 break
+        if telemetry is not None:
+            telemetry.worker_exited("main", "stop")
     elif pending and pool_mode == "per-attempt":
-        _run_supervised(pending, jobs, policy, store, quarantine)
+        _run_supervised(pending, jobs, policy, store, quarantine, telemetry)
     elif pending:
-        _run_warm_pool(pending, jobs, policy, store, quarantine)
+        _run_warm_pool(pending, jobs, policy, store, quarantine, telemetry)
 
     failed.sort(key=lambda f: f.run.index)
-    return CampaignResult(
+    evictions = (cache.evictions - evictions_before) if cache is not None else 0
+    result = CampaignResult(
         records=[records[i] for i in sorted(records)],
         failed=failed,
+        cache_evictions=evictions,
     )
+    if telemetry is not None:
+        telemetry.end_campaign(
+            executed=result.executed,
+            cache_hits=result.cache_hits,
+            cache_evictions=evictions,
+            failed=len(failed),
+        )
+    return result

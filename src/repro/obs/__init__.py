@@ -13,10 +13,15 @@ and gated emits, and this package harvests, records, and attributes:
   anomalies (RTO storms, route failures, queue-full bursts).
 * :mod:`~repro.obs.provenance` — run manifests (seed, config digest,
   metrics snapshot, environment) attached to every result.
+* :mod:`~repro.obs.spans` / :mod:`~repro.obs.engine` — campaign-scale
+  telemetry: span/event model, live NDJSON streaming, per-worker health.
+* :mod:`~repro.obs.report` — span-log aggregation behind
+  ``repro-muzha report``.
 * :mod:`~repro.obs.validate` — dependency-free schema validation for
-  trace files and manifests.
+  trace files, span logs and manifests.
 """
 
+from .engine import CampaignTelemetry, WorkerHealth, read_rss_kb
 from .flight import AnomalyDump, AnomalyRule, DEFAULT_RULES, FlightRecorder
 from .metrics import (
     Counter,
@@ -34,11 +39,21 @@ from .provenance import (
     manifest_consistent,
     stable_digest,
 )
+from .report import aggregate_span_log, format_report, render_report
 from .sinks import CsvTraceSink, NdjsonTraceSink, TraceSink, record_to_json_dict
+from .spans import (
+    SPAN_BATCH,
+    SPAN_CAMPAIGN,
+    SPAN_UNIT,
+    Span,
+    SpanWriter,
+    read_span_log,
+)
 from .validate import (
     load_schema,
     validate,
     validate_manifest_file,
+    validate_span_file,
     validate_trace_file,
 )
 
@@ -64,8 +79,21 @@ __all__ = [
     "NdjsonTraceSink",
     "TraceSink",
     "record_to_json_dict",
+    "CampaignTelemetry",
+    "WorkerHealth",
+    "read_rss_kb",
+    "SPAN_BATCH",
+    "SPAN_CAMPAIGN",
+    "SPAN_UNIT",
+    "Span",
+    "SpanWriter",
+    "read_span_log",
+    "aggregate_span_log",
+    "format_report",
+    "render_report",
     "load_schema",
     "validate",
     "validate_manifest_file",
+    "validate_span_file",
     "validate_trace_file",
 ]

@@ -65,6 +65,8 @@ def build_manifest(
     wall_time_s: float,
     metrics: Dict[str, Any],
     result_digest: str,
+    timings: Optional[Dict[str, float]] = None,
+    engine: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a manifest for one completed run.
 
@@ -72,6 +74,12 @@ def build_manifest(
     (:meth:`repro.experiments.config.ScenarioConfig.to_dict`); its digest
     keys the reproduction check together with ``seed`` (the seed is inside
     the config too, so ``config_digest`` alone pins the randomness).
+
+    ``timings`` (per-subsystem wall seconds: setup/sim/harvest/serialize)
+    and ``engine`` (PHY lane + kernel counters) are environment facts like
+    ``wall_time_s`` — campaign telemetry surfaces them in unit-attempt
+    spans, and like every environment fact they never enter result
+    fingerprints.
     """
     return {
         "manifest_schema": MANIFEST_SCHEMA_VERSION,
@@ -84,6 +92,8 @@ def build_manifest(
         "metrics": metrics,
         "sim_time": sim_time,
         "wall_time_s": wall_time_s,
+        "timings": timings,
+        "engine": engine,
         "package_version": _package_version(),
         "python": platform.python_version(),
         "platform": platform.platform(),

@@ -1,21 +1,32 @@
-"""Schema validation for trace files and manifests — no dependencies.
+"""Schema validation for trace files, span logs and manifests — no deps.
 
 The container deliberately ships no ``jsonschema`` package, so this module
-implements the small subset of JSON Schema the repo's two committed
-schemas actually use — ``type`` (including union lists), ``required``,
-``properties``, ``additionalProperties: false`` and ``items`` — and wires
-it into loaders for those schemas:
+implements the small subset of JSON Schema the repo's committed schemas
+actually use — ``type`` (including union lists), ``required``,
+``properties``, ``additionalProperties: false``, ``items`` and ``enum`` —
+and wires it into loaders for those schemas:
 
 * ``schemas/trace_record.schema.json`` — one NDJSON trace line;
+* ``schemas/span_record.schema.json`` — one NDJSON campaign-telemetry
+  line (span open/close, coordinator event, heartbeat, progress);
 * ``schemas/run_manifest.schema.json`` — a run provenance manifest.
 
-CLI (used by CI to hold trace/manifest output to the committed contract)::
+NDJSON readers treat an *empty* file and a *truncated final line* (no
+trailing newline) as violations: both are what a crashed or still-running
+producer leaves behind, and silently blessing them would let CI validate a
+trace that never happened.
 
-    python -m repro.obs.validate --trace out.ndjson --manifest out.manifest.json
+CLI (used by CI to hold trace/span/manifest output to the committed
+contract)::
+
+    python -m repro.obs.validate --trace out.ndjson \\
+        --spans spans.ndjson --manifest out.manifest.json
 
 exits non-zero and prints each violation with its JSON path.  Manifests
 additionally get the :func:`~repro.obs.provenance.manifest_consistent`
-digest self-check.
+digest self-check; span logs additionally get a referential structure
+check (every close matches an open, every parent exists, exactly one root
+campaign span).
 """
 
 from __future__ import annotations
@@ -60,6 +71,9 @@ def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> List[str
                 f"got {type(instance).__name__}"
             )
             return errors  # structural checks below assume the right type
+    enum = schema.get("enum")
+    if enum is not None and instance not in enum:
+        errors.append(f"{path}: {instance!r} is not one of {enum}")
     if isinstance(instance, dict):
         for name in schema.get("required", ()):
             if name not in instance:
@@ -81,22 +95,124 @@ def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> List[str
     return errors
 
 
+def _iter_ndjson(path: PathLike):
+    """Parse an NDJSON file: yields ``(lineno, record_or_None, error)``.
+
+    Structural problems a line-by-line scan would silently bless are
+    reported as pseudo-lines: an **empty file** (zero records — what a
+    producer that died before its first write leaves behind) and a
+    **truncated final line** (no trailing newline — a writer killed
+    mid-record; the partial line is also JSON-checked like any other).
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    if not text.strip():
+        yield 0, None, "empty NDJSON file (no records)"
+        return
+    if not text.endswith("\n"):
+        lastno = text.count("\n") + 1
+        yield lastno, None, ("truncated final line (no trailing newline — "
+                             "producer died mid-record?)")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield lineno, json.loads(line), None
+        except json.JSONDecodeError as exc:
+            yield lineno, None, f"invalid JSON ({exc})"
+
+
 def validate_trace_file(path: PathLike) -> List[str]:
-    """Violations in an NDJSON trace file, one entry per bad line."""
+    """Violations in an NDJSON trace file, one entry per bad line.
+
+    An empty file or a truncated final line is a violation too — see
+    :func:`_iter_ndjson`.
+    """
     schema = load_schema("trace_record")
     errors: List[str] = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+    for lineno, record, error in _iter_ndjson(path):
+        if error is not None:
+            errors.append(f"line {lineno}: {error}")
+            continue
+        errors.extend(f"line {lineno}: {err}"
+                      for err in validate(record, schema))
+    return errors
+
+
+#: Per-kind required fields of a span-log record, enforced on top of the
+#: (necessarily permissive) committed schema.
+_SPAN_KIND_REQUIRED = {
+    "span_open": ("id", "span", "parent", "t0"),
+    "span_close": ("id", "t1", "status"),
+    "event": ("name", "t"),
+    "heartbeat": ("t", "worker", "attrs"),
+    "progress": ("t", "done", "total", "failed"),
+}
+
+
+def validate_span_file(path: PathLike) -> List[str]:
+    """Violations in an NDJSON campaign span log.
+
+    Three layers: the NDJSON file contract (non-empty, complete final
+    line), the per-line ``span_record`` schema plus per-kind required
+    fields, and the referential span structure — every ``span_close``
+    names an opened-and-not-yet-closed id, every parent references an
+    opened span, exactly one root ``campaign`` span exists, and every
+    span opened is eventually closed.
+    """
+    schema = load_schema("span_record")
+    errors: List[str] = []
+    open_spans: Dict[str, str] = {}  # id -> span name, still open
+    seen: Dict[str, str] = {}  # id -> span name, ever opened
+    roots = 0
+    for lineno, record, error in _iter_ndjson(path):
+        if error is not None:
+            errors.append(f"line {lineno}: {error}")
+            continue
+        line_errors = validate(record, schema)
+        errors.extend(f"line {lineno}: {err}" for err in line_errors)
+        if line_errors or not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        for name in _SPAN_KIND_REQUIRED.get(kind, ()):
+            if name not in record:
+                errors.append(
+                    f"line {lineno}: {kind} record missing {name!r}"
+                )
+        if kind == "span_open":
+            span_id = record.get("id")
+            if span_id in seen:
+                errors.append(f"line {lineno}: duplicate span id {span_id!r}")
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                errors.append(f"line {lineno}: invalid JSON ({exc})")
-                continue
-            errors.extend(f"line {lineno}: {err}"
-                          for err in validate(record, schema))
+            parent = record.get("parent")
+            if parent is None:
+                if record.get("span") != "campaign":
+                    errors.append(
+                        f"line {lineno}: only campaign spans may be roots, "
+                        f"got {record.get('span')!r}"
+                    )
+                roots += 1
+            elif parent not in seen:
+                errors.append(
+                    f"line {lineno}: parent {parent!r} of span "
+                    f"{span_id!r} was never opened"
+                )
+            seen[span_id] = record.get("span", "?")
+            open_spans[span_id] = seen[span_id]
+        elif kind == "span_close":
+            span_id = record.get("id")
+            if span_id not in open_spans:
+                errors.append(
+                    f"line {lineno}: close of span {span_id!r} which is "
+                    "not open"
+                )
+            else:
+                del open_spans[span_id]
+    if not errors:
+        if roots != 1:
+            errors.append(f"expected exactly 1 root campaign span, got {roots}")
+        for span_id, name in sorted(open_spans.items()):
+            errors.append(f"span {span_id!r} ({name}) was never closed")
     return errors
 
 
@@ -122,30 +238,34 @@ def main(argv: Any = None) -> int:
     )
     parser.add_argument("--trace", action="append", default=[],
                         help="NDJSON trace file to validate (repeatable)")
+    parser.add_argument("--spans", action="append", default=[],
+                        help="NDJSON campaign span log to validate "
+                             "(repeatable)")
     parser.add_argument("--manifest", action="append", default=[],
                         help="manifest JSON file to validate (repeatable)")
     args = parser.parse_args(argv)
-    if not args.trace and not args.manifest:
-        parser.error("nothing to validate: pass --trace and/or --manifest")
+    if not args.trace and not args.spans and not args.manifest:
+        parser.error(
+            "nothing to validate: pass --trace, --spans and/or --manifest"
+        )
     failures = 0
+
+    def check(path: str, errors: List[str]) -> None:
+        nonlocal failures
+        if errors:
+            failures += 1
+            print(f"FAIL {path}")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"ok   {path}")
+
     for trace_path in args.trace:
-        errors = validate_trace_file(trace_path)
-        if errors:
-            failures += 1
-            print(f"FAIL {trace_path}")
-            for err in errors:
-                print(f"  {err}")
-        else:
-            print(f"ok   {trace_path}")
+        check(trace_path, validate_trace_file(trace_path))
+    for span_path in args.spans:
+        check(span_path, validate_span_file(span_path))
     for manifest_path in args.manifest:
-        errors = validate_manifest_file(manifest_path)
-        if errors:
-            failures += 1
-            print(f"FAIL {manifest_path}")
-            for err in errors:
-                print(f"  {err}")
-        else:
-            print(f"ok   {manifest_path}")
+        check(manifest_path, validate_manifest_file(manifest_path))
     return 1 if failures else 0
 
 

@@ -110,6 +110,7 @@ class BatchFanout:
 
     __slots__ = (
         "neighbors", "delays", "width", "use_numpy",
+        "numpy_calls", "loop_calls",
         "_d", "_starts", "_ends", "_sums", "_departs",
     )
 
@@ -127,6 +128,11 @@ class BatchFanout:
             raise ValueError("fan-out propagation delays must be >= 0")
         self.width = width = len(entries)
         self.use_numpy = HAVE_NUMPY and width >= NUMPY_MIN_FANOUT
+        #: Kernel-selection counters (frames computed per sub-lane); one
+        #: int add per frame, harvested post-run by
+        #: :meth:`repro.phy.channel.WirelessChannel.lane_counters`.
+        self.numpy_calls = 0
+        self.loop_calls = 0
         if self.use_numpy:
             self._d = _np.array(self.delays, dtype=_np.float64)
             self._starts = _np.empty(width, dtype=_np.float64)
@@ -151,6 +157,7 @@ class BatchFanout:
         the 1-ULP event-order contract holds bit-for-bit.
         """
         if self.use_numpy:
+            self.numpy_calls += 1
             d = self._d
             starts = self._starts
             _np.add(d, now, out=starts)
@@ -158,6 +165,7 @@ class BatchFanout:
             _np.add(d, duration, out=self._sums)
             _np.add(self._sums, now, out=self._departs)
             return starts.tolist(), self._ends.tolist(), self._departs.tolist()
+        self.loop_calls += 1
         starts = []
         ends = []
         departs = []

@@ -96,6 +96,11 @@ class WirelessChannel:
         self._blocked_links: Set[FrozenSet[int]] = set()
         #: Total number of frame transmissions started on this channel.
         self.transmissions = 0
+        # Kernel-selection counts folded out of BatchFanout objects retired
+        # by a topology invalidation, so lane_counters() survives mobility
+        # and fault-driven cache rebuilds.
+        self._retired_numpy_frames = 0
+        self._retired_loop_frames = 0
 
     # -- topology ---------------------------------------------------------------
 
@@ -114,8 +119,34 @@ class WirelessChannel:
     def _invalidate(self) -> None:
         self._neighbors = None
         self._fanout = None
+        if self._batch_fanout is not None:
+            for fan in self._batch_fanout.values():
+                self._retired_numpy_frames += fan.numpy_calls
+                self._retired_loop_frames += fan.loop_calls
         self._batch_fanout = None
         self._rx_neighbors = None
+
+    def lane_counters(self) -> Dict[str, object]:
+        """Engine-level lane/kernel counters for telemetry manifests.
+
+        Environment facts, not results: lane choice never changes a single
+        event, so these counters live in run manifests (and campaign span
+        attributes) rather than the fingerprinted metrics snapshot — the
+        same run on the scalar lane would report different numbers here
+        while producing byte-identical results.
+        """
+        numpy_frames = self._retired_numpy_frames
+        loop_frames = self._retired_loop_frames
+        if self._batch_fanout is not None:
+            for fan in self._batch_fanout.values():
+                numpy_frames += fan.numpy_calls
+                loop_frames += fan.loop_calls
+        return {
+            "lane": self.lane,
+            "transmissions": self.transmissions,
+            "numpy_fanout_frames": numpy_frames,
+            "loop_fanout_frames": loop_frames,
+        }
 
     def position_of(self, radio: Radio) -> Position:
         return self._positions[radio]

@@ -171,3 +171,77 @@ def test_validate_cli_main(tmp_path):
     assert main(["--trace", str(path)]) == 0
     path.write_text('{"t":"x"}\n')
     assert main(["--trace", str(path)]) == 1
+
+
+def test_validate_rejects_empty_ndjson(tmp_path):
+    from repro.obs.validate import main
+
+    path = tmp_path / "empty.ndjson"
+    path.write_text("")
+    errors = validate_trace_file(path)
+    assert errors and "empty" in errors[0]
+    assert main(["--trace", str(path)]) == 1
+    path.write_text("  \n\n")  # whitespace-only counts as empty too
+    assert validate_trace_file(path)
+
+
+def test_validate_rejects_truncated_final_line(tmp_path):
+    path = tmp_path / "trunc.ndjson"
+    path.write_text('{"t":1.0,"source":"s","event":"e","fields":{}}\n'
+                    '{"t":2.0,"source":"s","event":"e","fields":{}}')
+    errors = validate_trace_file(path)
+    assert any("truncated final line" in e and "line 2" in e for e in errors)
+    # With the newline restored the same content is clean.
+    path.write_text(path.read_text() + "\n")
+    assert validate_trace_file(path) == []
+
+
+def test_validate_enum_keyword():
+    schema = {"type": "string", "enum": ["a", "b"]}
+    assert validate("a", schema) == []
+    assert validate("c", schema)
+
+
+def test_validate_span_file_structure(tmp_path):
+    from repro.obs import validate_span_file
+
+    path = tmp_path / "spans.ndjson"
+    good = (
+        '{"kind":"span_open","id":"c1","span":"campaign","parent":null,"t0":1.0}\n'
+        '{"kind":"span_open","id":"u2","span":"unit-attempt","parent":"c1","t0":1.0}\n'
+        '{"kind":"span_close","id":"u2","t1":2.0,"status":"ok"}\n'
+        '{"kind":"span_close","id":"c1","t1":2.0,"status":"ok"}\n'
+    )
+    path.write_text(good)
+    assert validate_span_file(path) == []
+    # A root that is not a campaign span, an unknown parent, an unknown
+    # status, and a close without an open are each violations.
+    path.write_text(
+        '{"kind":"span_open","id":"b1","span":"dispatch-batch","parent":null,"t0":1.0}\n'
+        '{"kind":"span_open","id":"u2","span":"unit-attempt","parent":"zz","t0":1.0}\n'
+        '{"kind":"span_close","id":"u9","t1":2.0,"status":"ok"}\n'
+        '{"kind":"span_close","id":"u2","t1":2.0,"status":"nope"}\n'
+    )
+    errors = validate_span_file(path)
+    assert any("only campaign spans may be roots" in e for e in errors)
+    assert any("was never opened" in e for e in errors)
+    assert any("not open" in e for e in errors)
+    assert any("'nope'" in e for e in errors)
+    # A span that never closes is a violation on an otherwise clean log.
+    path.write_text(
+        '{"kind":"span_open","id":"c1","span":"campaign","parent":null,"t0":1.0}\n'
+    )
+    assert any("never closed" in e for e in validate_span_file(path))
+
+
+def test_validate_span_cli_main(tmp_path):
+    from repro.obs.validate import main
+
+    path = tmp_path / "spans.ndjson"
+    path.write_text(
+        '{"kind":"span_open","id":"c1","span":"campaign","parent":null,"t0":1.0}\n'
+        '{"kind":"span_close","id":"c1","t1":2.0,"status":"ok"}\n'
+    )
+    assert main(["--spans", str(path)]) == 0
+    path.write_text("")
+    assert main(["--spans", str(path)]) == 1

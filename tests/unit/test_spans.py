@@ -1,0 +1,231 @@
+"""Unit tests for the span model and the campaign telemetry engine."""
+
+import io
+import os
+
+import pytest
+
+from repro.obs import (
+    CampaignTelemetry,
+    Span,
+    SpanWriter,
+    WorkerHealth,
+    read_rss_kb,
+    read_span_log,
+    validate_span_file,
+)
+from repro.obs.spans import SpanIdAllocator
+
+
+# -- SpanWriter ---------------------------------------------------------------
+
+
+def test_span_writer_path_target_flushes_per_line(tmp_path):
+    path = tmp_path / "nested" / "spans.ndjson"
+    with SpanWriter(path) as writer:
+        writer.write({"kind": "event", "name": "x", "t": 1.0})
+        writer.write({"kind": "progress", "t": 2.0, "done": 1, "total": 2,
+                      "failed": 0})
+    records = read_span_log(path)
+    assert [r["kind"] for r in records] == ["event", "progress"]
+    assert writer.records_written == 2
+    assert writer.counts == {"event": 1, "progress": 1}
+    assert path.read_text().endswith("\n")
+
+
+def test_span_writer_stream_target_is_not_closed():
+    stream = io.StringIO()
+    writer = SpanWriter(stream)
+    writer.write({"kind": "event", "name": "x", "t": 0.0})
+    writer.close()
+    assert not stream.closed  # caller owns the stream
+    assert stream.getvalue().count("\n") == 1
+
+
+def test_span_writer_fd_target(tmp_path):
+    path = tmp_path / "fd.ndjson"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o600)
+    with SpanWriter(f"fd:{fd}") as writer:
+        writer.write({"kind": "event", "name": "x", "t": 0.0})
+    assert read_span_log(path)[0]["name"] == "x"
+    with pytest.raises(OSError):
+        os.close(fd)  # the writer owned and closed the descriptor
+
+
+def test_span_open_close_records():
+    span = Span(id="u1", name="unit-attempt", t0=1.0, parent="b1",
+                attrs={"index": 0})
+    assert span.open_record() == {
+        "kind": "span_open", "id": "u1", "span": "unit-attempt",
+        "parent": "b1", "t0": 1.0, "attrs": {"index": 0},
+    }
+    closed = span.close_record(2.0, status="error", attrs={"error": "boom"})
+    assert closed == {"kind": "span_close", "id": "u1", "t1": 2.0,
+                      "status": "error", "attrs": {"error": "boom"}}
+
+
+def test_span_id_allocator_is_prefixed_and_unique():
+    ids = SpanIdAllocator()
+    assert ids.allocate("campaign") == "c1"
+    assert ids.allocate("dispatch-batch") == "b2"
+    assert ids.allocate("unit-attempt") == "u3"
+    assert ids.allocate("unit-attempt") == "u4"
+
+
+# -- WorkerHealth -------------------------------------------------------------
+
+
+def test_worker_health_busy_idle_accounting():
+    health = WorkerHealth(worker="w1", pid=None, spawned_mono=0.0,
+                          state_since=0.0)
+    health.mark("busy", 2.0)   # 2s idle
+    health.mark("idle", 5.0)   # 3s busy
+    gauges = health.gauges(6.0)  # +1s idle in progress
+    assert gauges["busy_s"] == pytest.approx(3.0)
+    assert gauges["idle_s"] == pytest.approx(3.0)
+    assert gauges["state"] == "idle"
+    assert "rss_kb" not in gauges  # no pid, no sample
+
+
+def test_read_rss_kb_own_process():
+    rss = read_rss_kb(os.getpid())
+    # Linux: a positive sample; elsewhere: a graceful None.
+    assert rss is None or rss > 0
+    assert read_rss_kb(2 ** 30) is None  # no such pid
+
+
+# -- CampaignTelemetry --------------------------------------------------------
+
+
+def scripted_campaign(tmp_path, name="spans.ndjson"):
+    """Drive a full scripted coordinator sequence; returns the log path."""
+    path = tmp_path / name
+    with SpanWriter(path) as writer:
+        tel = CampaignTelemetry(writer, heartbeat_interval=0.001)
+        tel.begin_campaign(3, "warm", 2)
+        tel.worker_spawned("w1", os.getpid())
+        tel.cache_hit(2, "f" * 64)
+        tel.unit_result("cache", 2, 0, "ok", cached=True)
+        tel.cache_miss(0, "a" * 64)
+        tel.cache_miss(1, "b" * 64)
+        tel.batch_dispatched("w1", [0, 1])
+        tel.unit_result("w1", 0, 1, "ok",
+                        manifest={"timings": {"sim_s": 0.5},
+                                  "engine": {"lane": "batch",
+                                             "transmissions": 10,
+                                             "numpy_fanout_frames": 4,
+                                             "loop_fanout_frames": 6}})
+        tel.tick()
+        tel.unit_result("w1", 1, 1, "error", error="ValueError: boom")
+        tel.retry_scheduled(1, 1, 0.25, "ValueError: boom")
+        tel.batch_dispatched("w1", [1])
+        tel.unit_result("w1", 1, 2, "ok", manifest={"engine": {"lane": "batch"}})
+        tel.worker_exited("w1", "stop", exitcode=0)
+        tel.end_campaign(executed=2, cache_hits=1, cache_evictions=0, failed=0)
+        return path, tel
+
+
+def test_telemetry_emits_schema_valid_log(tmp_path):
+    path, _ = scripted_campaign(tmp_path)
+    assert validate_span_file(path) == []
+
+
+def test_telemetry_span_parentage_and_counters(tmp_path):
+    path, tel = scripted_campaign(tmp_path)
+    records = read_span_log(path)
+    opens = {r["id"]: r for r in records if r["kind"] == "span_open"}
+    closes = {r["id"]: r for r in records if r["kind"] == "span_close"}
+    campaign = next(r for r in opens.values() if r["span"] == "campaign")
+    batches = [r for r in opens.values() if r["span"] == "dispatch-batch"]
+    units = [r for r in opens.values() if r["span"] == "unit-attempt"]
+    assert campaign["parent"] is None
+    assert all(b["parent"] == campaign["id"] for b in batches)
+    # The cached unit hangs off the campaign; dispatched units off batches.
+    cached = next(u for u in units if u["attrs"]["cached"])
+    assert cached["parent"] == campaign["id"]
+    batch_ids = {b["id"] for b in batches}
+    assert all(u["parent"] in batch_ids for u in units
+               if not u["attrs"]["cached"])
+    assert closes[campaign["id"]]["status"] == "ok"
+    attrs = closes[campaign["id"]]["attrs"]
+    assert attrs["executed"] == 2 and attrs["cache_hits"] == 1
+    assert attrs["counters"]["units.ok"] == 3
+    assert attrs["counters"]["units.error"] == 1
+    assert attrs["counters"]["events.retry"] == 1
+    assert attrs["phy"]["lane.batch.units"] == 2
+    assert attrs["phy"]["transmissions"] == 10
+    assert attrs["phy"]["numpy_fanout_frames"] == 4
+    # Worker-measured timings travel on the unit close record.
+    unit0_close = closes[next(u["id"] for u in units
+                              if u["attrs"]["index"] == 0)]
+    assert unit0_close["attrs"]["timings"] == {"sim_s": 0.5}
+    assert unit0_close["attrs"]["phy_lane"] == "batch"
+
+
+def test_telemetry_heartbeats_cover_every_worker(tmp_path):
+    path, tel = scripted_campaign(tmp_path)
+    beats = [r for r in read_span_log(path) if r["kind"] == "heartbeat"]
+    assert tel.heartbeats == len(beats) >= 1
+    assert {b["worker"] for b in beats} == {"w1"}
+    final = beats[-1]
+    assert final["attrs"]["units_done"] == 2
+    assert final["attrs"]["failures"] == 1
+
+
+def test_telemetry_crash_aborts_batch_and_marks_replacement(tmp_path):
+    path = tmp_path / "crash.ndjson"
+    with SpanWriter(path) as writer:
+        tel = CampaignTelemetry(writer)
+        tel.begin_campaign(1, "warm", 1)
+        tel.worker_spawned("w1", None)
+        tel.batch_dispatched("w1", [0, 1])
+        tel.unit_result("w1", 0, 1, "crash",
+                        error="worker crashed (exit code 13)")
+        tel.worker_exited("w1", "crash", exitcode=13)
+        tel.worker_spawned("w2", None, replacement=True)
+        tel.batch_dispatched("w2", [0, 1])
+        tel.unit_result("w2", 0, 2, "ok")
+        tel.unit_result("w2", 1, 1, "ok")
+        tel.worker_exited("w2", "stop")
+        tel.end_campaign(executed=2, cache_hits=0, cache_evictions=0,
+                         failed=0)
+    assert validate_span_file(path) == []
+    records = read_span_log(path)
+    closes = [r for r in records if r["kind"] == "span_close"]
+    assert any(r["status"] == "aborted" for r in closes)  # the dead batch
+    assert any(r["status"] == "crash" for r in closes)  # the dead unit
+    spawns = [r for r in records
+              if r["kind"] == "event" and r["name"] == "worker.spawn"]
+    assert [s["attrs"]["replacement"] for s in spawns] == [False, True]
+    assert any(r.get("name") == "worker.crash" for r in records)
+
+
+def test_telemetry_end_campaign_closes_dangling_state(tmp_path):
+    path = tmp_path / "dangling.ndjson"
+    with SpanWriter(path) as writer:
+        tel = CampaignTelemetry(writer)
+        tel.begin_campaign(2, "warm", 1)
+        tel.worker_spawned("w1", None)
+        tel.batch_dispatched("w1", [0, 1])
+        tel.end_campaign(executed=0, cache_hits=0, cache_evictions=0,
+                         failed=2)
+    assert validate_span_file(path) == []  # batch force-closed as aborted
+    closes = [r for r in read_span_log(path) if r["kind"] == "span_close"]
+    assert {r["status"] for r in closes} == {"aborted", "error"}
+    # Idempotent: a second end is a no-op, double-begin raises.
+    with SpanWriter(io.StringIO()) as writer:
+        tel = CampaignTelemetry(writer)
+        tel.begin_campaign(1, "inproc", 1)
+        with pytest.raises(RuntimeError):
+            tel.begin_campaign(1, "inproc", 1)
+        tel.end_campaign(executed=0, cache_hits=0, cache_evictions=0,
+                         failed=0)
+        before = writer.records_written
+        tel.end_campaign(executed=0, cache_hits=0, cache_evictions=0,
+                         failed=0)
+        assert writer.records_written == before
+
+
+def test_telemetry_rejects_bad_heartbeat_interval():
+    with pytest.raises(ValueError):
+        CampaignTelemetry(SpanWriter(io.StringIO()), heartbeat_interval=0.0)
