@@ -7,10 +7,17 @@ Subcommands mirror the paper's three simulations plus the parameter tables:
 * ``repro-muzha cross --a newreno --b muzha`` — Simulation 3A coexistence;
 * ``repro-muzha dynamics --variant muzha`` — Simulation 3B staggered flows;
 * ``repro-muzha campaign --jobs 4`` — parallel cached scenario campaigns
-  (``--spans out.ndjson`` streams live campaign telemetry);
+  (``--spans out.ndjson`` streams live campaign telemetry; ``--journal
+  run.journal`` write-ahead-journals every unit so an interrupted campaign
+  — Ctrl-C / SIGTERM exits with code 3 — resumes with ``--resume
+  run.journal``, executing only the remainder);
 * ``repro-muzha report out.ndjson`` — aggregate a campaign span log into a
   human-readable summary (throughput, worker utilization, cache hit ratio,
   retries/quarantine, slowest units);
+* ``repro-muzha doctor --cache results/cache --journal run.journal`` —
+  fsck campaign artifacts (orphaned tmp files, corrupt cache envelopes,
+  journal damage/drift, unclosed span logs); ``--repair`` fixes what it
+  safely can;
 * ``repro-muzha trace chain --out run.ndjson`` — traced run: NDJSON/CSV
   event trace + provenance manifest (+ optional flight-recorder dumps);
 * ``repro-muzha stats chain`` — metrics snapshot of a run (rollup tables
@@ -32,6 +39,10 @@ from .core.drai import DRAI_TABLE, apply_drai
 from .experiments import (
     PAPER_VARIANTS,
     CampaignCache,
+    CampaignJournal,
+    GracefulShutdown,
+    JournalError,
+    JournalPlanMismatch,
     POOL_MODES,
     RetryPolicy,
     ScenarioConfig,
@@ -45,9 +56,11 @@ from .experiments import (
     format_coexistence,
     format_sweep,
     format_table,
+    replay_journal,
     run_campaign,
     run_chain,
     run_cross,
+    run_doctor,
     throughput_retransmit_sweep,
 )
 from .faults import FaultPlan, FaultPlanError
@@ -208,6 +221,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.clear_cache:
             removed = cache.clear()
             print(f"cache cleared: {removed} entries removed")
+    resume = None
+    journal_path = args.journal
+    if args.resume:
+        if args.no_cache:
+            raise SystemExit(
+                "--resume requires the cache (drop --no-cache): journaled "
+                "completions are verified against — and read back from — "
+                "the content-addressed cache"
+            )
+        try:
+            resume = replay_journal(args.resume)
+        except JournalError as exc:
+            raise SystemExit(f"cannot resume: {exc}")
+        journal_path = args.journal or args.resume
+        print(
+            f"resuming {args.resume}: {len(resume.completed)} journaled "
+            f"completions, {len(resume.failed)} quarantined, "
+            f"{resume.remaining} units remaining"
+        )
+    journal = None
+    if journal_path:
+        try:
+            journal = CampaignJournal(journal_path, resume=resume is not None)
+        except JournalError as exc:
+            raise SystemExit(str(exc))
     policy, policy_params = _load_policy(args)
     config = ScenarioConfig(
         sim_time=args.time, routing=args.routing, window=args.window,
@@ -246,19 +284,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         telemetry = CampaignTelemetry(
             span_writer, heartbeat_interval=args.heartbeat_interval
         )
+    shutdown = GracefulShutdown(drain_timeout=args.drain_timeout)
     try:
-        result = run_campaign(
-            grid,
-            replications=args.replications,
-            base_seed=args.seed,
-            jobs=jobs,
-            cache=cache,
-            progress=report if not args.quiet else None,
-            policy=policy,
-            pool_mode=args.pool_mode,
-            telemetry=telemetry,
-        )
+        with shutdown:
+            result = run_campaign(
+                grid,
+                replications=args.replications,
+                base_seed=args.seed,
+                jobs=jobs,
+                cache=cache,
+                progress=report if not args.quiet else None,
+                policy=policy,
+                pool_mode=args.pool_mode,
+                telemetry=telemetry,
+                journal=journal,
+                resume=resume,
+                shutdown=shutdown,
+            )
+    except JournalPlanMismatch as exc:
+        raise SystemExit(f"cannot resume: {exc}")
     finally:
+        if journal is not None:
+            journal.close()
         if span_writer is not None:
             span_writer.close()
     elapsed = time.time() - started
@@ -283,6 +330,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{len(result.failed)} failed, {result.cache_evictions} cache "
         f"evictions, {elapsed:.1f}s wall"
     )
+    if not result.interrupted:
+        print(f"campaign fingerprint: {result.fingerprint()}")
     if span_writer is not None:
         print(f"{span_writer.records_written} telemetry records written to "
               f"{args.spans} (summarise with `repro-muzha report "
@@ -300,6 +349,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.csv:
         path = export_campaign_csv(result, args.csv)
         print(f"per-run metrics written to {path}")
+    if result.interrupted:
+        print(
+            f"\ninterrupted by {shutdown.signal_name or 'signal'}: "
+            f"{len(result.records)} of {result.planned} units done, "
+            f"{result.remaining} remaining"
+        )
+        if journal_path:
+            print(f"resumable: re-run with --resume {journal_path}")
+        else:
+            print("not resumable: the campaign ran without --journal")
+        return 3
     return 0 if result.complete else 1
 
 
@@ -435,6 +495,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from .experiments.doctor import format_report as format_doctor_report
+
+    if not (args.cache or args.journal or args.spans):
+        raise SystemExit(
+            "nothing to check: pass --cache, --journal and/or --spans"
+        )
+    checkup = run_doctor(
+        cache=args.cache, journal=args.journal, spans=args.spans,
+        repair=args.repair,
+    )
+    if args.json:
+        json.dump(checkup.to_dict(), sys.stdout, sort_keys=True, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(format_doctor_report(checkup))
+    return 0 if checkup.healthy else 1
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     print(format_table(["Parameter", "Range"], Table51Parameters().rows(),
                        title="Table 5.1 — Simulation parameters"))
@@ -542,6 +621,23 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--heartbeat-interval", type=float, default=1.0,
                           metavar="SECONDS",
                           help="worker heartbeat period in the span stream")
+    campaign.add_argument("--journal", default=None, metavar="PATH",
+                          help="write-ahead journal: the plan is recorded "
+                               "before dispatch and every completion after "
+                               "it, so an interrupted campaign (exit code 3) "
+                               "can be resumed with --resume PATH")
+    campaign.add_argument("--resume", default=None, metavar="JOURNAL",
+                          help="resume an interrupted campaign from its "
+                               "journal: completed units are re-verified "
+                               "against the cache and only the remainder "
+                               "executes; grid, replications and --seed "
+                               "must match the original run")
+    campaign.add_argument("--drain-timeout", type=float, default=10.0,
+                          metavar="SECONDS",
+                          help="on SIGINT/SIGTERM, wait this long for "
+                               "in-flight units before terminating workers "
+                               "(a second signal aborts the drain "
+                               "immediately)")
     _add_faults(campaign)
     _add_policy(campaign)
     campaign.set_defaults(func=_cmd_campaign)
@@ -618,6 +714,26 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--buckets", type=int, default=20, metavar="N",
                           help="throughput timeline resolution")
     report_p.set_defaults(func=_cmd_report)
+
+    doctor = sub.add_parser(
+        "doctor", help="fsck campaign artifacts: cache, journal, span log"
+    )
+    doctor.add_argument("--cache", default=None, metavar="DIR",
+                        help="campaign cache directory to check for orphaned "
+                             "tmp files and corrupt envelopes")
+    doctor.add_argument("--journal", default=None, metavar="PATH",
+                        help="write-ahead journal to check (torn tail, "
+                             "schema violations, drift against --cache)")
+    doctor.add_argument("--spans", default=None, metavar="PATH",
+                        help="campaign span log to check for unclosed spans "
+                             "(the signature of a killed campaign)")
+    doctor.add_argument("--repair", action="store_true",
+                        help="fix what can be fixed safely: delete orphaned "
+                             "tmp files and corrupt/drifted cache entries, "
+                             "truncate torn journal tails")
+    doctor.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    doctor.set_defaults(func=_cmd_doctor)
 
     tables = sub.add_parser("tables", help="print Tables 5.1 and 5.2")
     tables.set_defaults(func=_cmd_tables)

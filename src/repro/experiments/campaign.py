@@ -62,16 +62,24 @@ import json
 import multiprocessing
 import multiprocessing.connection
 import os
+import signal
 import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..obs.engine import CampaignTelemetry
 from ..sim.rng import derive_run_seed
 from .config import CACHE_SCHEMA_VERSION, ScenarioConfig, stable_digest
+from .journal import CampaignJournal, JournalReplay
 from .runner import RunResult, RunSpec, execute_run
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 PathLike = Union[str, Path]
 
@@ -79,6 +87,14 @@ PathLike = Union[str, Path]
 #: the worker executing unit ``index`` hard-exit (``os._exit``) once — the
 #: sentinel file marks the crash as spent so the retry succeeds.
 CRASH_ONCE_ENV = "REPRO_CAMPAIGN_CRASH_ONCE"
+
+#: Rendezvous hook for CI/testing: ``"<path>:<index>"`` makes the worker
+#: executing unit ``index`` touch ``<path>.ready`` and block until
+#: ``<path>.go`` appears — a deterministic mid-flight moment for the
+#: signal/interruption tests to deliver SIGTERM at.  One-shot: once
+#: ``<path>.ready`` exists the hook is spent, so retries and resumed
+#: campaigns run through unimpeded.
+BARRIER_ENV = "REPRO_CAMPAIGN_BARRIER"
 
 #: Execution backends accepted by :func:`run_campaign`'s ``pool_mode``.
 POOL_MODES = ("warm", "per-attempt", "inproc")
@@ -91,6 +107,99 @@ WARM_BATCH_MAX = 4
 
 class CacheCorruptionWarning(UserWarning):
     """A campaign cache entry failed validation and was evicted."""
+
+
+class GracefulShutdown:
+    """Cooperative SIGINT/SIGTERM handling for a running campaign.
+
+    The first signal sets :attr:`requested`: the coordinator stops
+    dispatching new units, drains in-flight work for up to
+    ``drain_timeout`` seconds, checkpoints the journal, and terminates its
+    workers cleanly (TERM, escalating to KILL).  A second signal sets
+    :attr:`force` — the drain is abandoned immediately — and uninstalls the
+    handlers, so a third signal kills the process outright via the default
+    disposition.  ``request()`` drives the same state machine without a
+    signal, which is what the in-process tests use.
+    """
+
+    SIGNAL_NAMES = ("SIGINT", "SIGTERM")
+
+    def __init__(self, drain_timeout: float = 5.0) -> None:
+        if drain_timeout < 0:
+            raise ValueError(
+                f"drain_timeout must be >= 0, got {drain_timeout}"
+            )
+        self.drain_timeout = drain_timeout
+        self.requested = False
+        self.force = False
+        self.signal_name: Optional[str] = None
+        self._deadline: Optional[float] = None
+        self._previous: Dict[int, Any] = {}
+
+    def request(self, signal_name: str = "manual") -> None:
+        """First call starts the drain; a second call forces the abort."""
+        if self.requested:
+            self.force = True
+        else:
+            self.requested = True
+            self.signal_name = signal_name
+            self._deadline = time.monotonic() + self.drain_timeout
+
+    @property
+    def abort(self) -> bool:
+        """True once draining must stop: forced, or past the deadline."""
+        return self.force or (
+            self._deadline is not None and time.monotonic() >= self._deadline
+        )
+
+    def _handler(self, signum: int, frame: Any) -> None:
+        already = self.requested
+        self.request(signal.Signals(signum).name)
+        if already:
+            self.uninstall()  # third signal → default disposition → death
+
+    def install(self) -> "GracefulShutdown":
+        """Route SIGINT/SIGTERM through this object (main thread only)."""
+        for name in self.SIGNAL_NAMES:
+            signum = getattr(signal, name, None)
+            if signum is None:  # pragma: no cover - exotic platforms
+                continue
+            try:
+                self._previous[signum] = signal.signal(signum, self._handler)
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+        return self
+
+    def uninstall(self) -> None:
+        for signum, previous in list(self._previous.items()):
+            try:
+                signal.signal(signum, previous)
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+        self._previous.clear()
+
+    def __enter__(self) -> "GracefulShutdown":
+        return self.install()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.uninstall()
+
+
+def _reset_worker_signals() -> None:
+    """Detach a forked worker from the coordinator's signal handlers.
+
+    Workers inherit signal dispositions across ``fork``; an inherited
+    graceful-shutdown handler would make SIGTERM a no-op in the child and
+    push every drain onto the slow KILL escalation path.  SIGINT is
+    ignored (the terminal delivers ^C to the whole foreground group, but
+    shutdown is the coordinator's call to make); SIGTERM is restored to
+    its default so ``process.terminate()`` works.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-POSIX
+        pass
 
 
 # ---------------------------------------------------------------------------
@@ -130,18 +239,40 @@ def _envelope_checksum(result: Dict[str, Any],
     return stable_digest({"manifest": manifest, "result": result})
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename into it survives a crash/power cut."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - exotic filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
 class CampaignCache:
     """Content-addressed store of run results under a root directory.
 
     Layout: ``<root>/<digest[:2]>/<digest>.json`` — one JSON document per
     completed run, a ``{"result", "manifest", "checksum"}`` envelope whose
     checksum is the content digest of the result+manifest pair.  Writes are
-    atomic (tmp file + rename) so a campaign killed mid-write never leaves a
-    truncated entry behind; corruption that slips past that (truncation by a
-    full disk, bit rot, a partial copy) is caught by the checksum on read —
-    the entry is evicted with a :class:`CacheCorruptionWarning` and the run
-    recomputed.
+    durable and atomic (pid-unique tmp file, fsynced, renamed over the final
+    path, directory fsynced) so a campaign killed mid-write — or a power cut
+    — never leaves a truncated entry behind; corruption that slips past that
+    (bit rot, a partial copy) is caught by the checksum on read — the entry
+    is evicted with a :class:`CacheCorruptionWarning` and the run recomputed.
+
+    Concurrency: mutations (:meth:`put`, evictions, :meth:`clear`) hold an
+    advisory ``fcntl.flock`` on the ``.lock`` sidecar under the root, so
+    concurrent campaigns can share one cache directory.  Reads are
+    lock-free: atomic rename guarantees a reader sees either the old state
+    or a complete entry, and the checksum catches everything else.
     """
+
+    LOCK_NAME = ".lock"
 
     def __init__(self, root: PathLike) -> None:
         self.root = Path(root)
@@ -150,6 +281,28 @@ class CampaignCache:
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / self.LOCK_NAME
+
+    @contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Advisory exclusive lock over cache mutations (no-op sans fcntl)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover
+                pass
+            os.close(fd)
 
     def get(self, digest: str) -> Optional[Dict[str, Any]]:
         """The cached ``{"result", "manifest"}`` payload, or None on a miss.
@@ -192,12 +345,20 @@ class CampaignCache:
             CacheCorruptionWarning,
             stacklevel=3,
         )
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        with self._lock():
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        """Durably store one result envelope (locked, atomic, fsynced).
+
+        Write path: pid-unique hidden tmp file → flush → ``fsync`` the file
+        → ``os.replace`` over the final name → ``fsync`` the directory.  A
+        crash or power cut at any point leaves either the old state or the
+        complete new entry, never a torn one.
+        """
         result = payload["result"]
         manifest = payload.get("manifest")
         envelope = {
@@ -206,11 +367,23 @@ class CampaignCache:
             "checksum": _envelope_checksum(result, manifest),
         }
         path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(envelope, handle, sort_keys=True, separators=(",", ":"))
-        os.replace(tmp, path)
+        with self._lock():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / f".{digest}.{os.getpid()}.tmp"
+            try:
+                with tmp.open("w", encoding="utf-8") as handle:
+                    json.dump(envelope, handle, sort_keys=True,
+                              separators=(",", ":"))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise
+            _fsync_dir(path.parent)
 
     def __contains__(self, digest: str) -> bool:
         return self._path(digest).exists()
@@ -221,9 +394,10 @@ class CampaignCache:
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        for entry in self.root.glob("*/*.json"):
-            entry.unlink()
-            removed += 1
+        with self._lock():
+            for entry in self.root.glob("*/*.json"):
+                entry.unlink()
+                removed += 1
         return removed
 
 
@@ -307,10 +481,20 @@ class CampaignResult:
     #: the delta of :attr:`CampaignCache.evictions` across the run.  An
     #: environment fact: eviction forces recomputation, never different bytes.
     cache_evictions: int = 0
+    #: Graceful shutdown stopped the campaign before every planned unit
+    #: resolved.  The journal (if one was attached) is resumable.
+    interrupted: bool = False
+    #: How many units the campaign planned (0 when constructed by hand).
+    planned: int = 0
 
     @property
     def complete(self) -> bool:
-        return not self.failed
+        return not self.failed and not self.interrupted
+
+    @property
+    def remaining(self) -> int:
+        """Planned units neither recorded nor quarantined (interruption)."""
+        return max(0, self.planned - len(self.records) - len(self.failed))
 
     @property
     def executed(self) -> int:
@@ -431,12 +615,30 @@ def _maybe_injected_crash(index: int) -> None:
     os._exit(13)
 
 
+def _maybe_barrier(index: int) -> None:
+    """Honour the :data:`BARRIER_ENV` rendezvous hook (no-op when unset)."""
+    spec = os.environ.get(BARRIER_ENV)
+    if not spec:
+        return
+    base, _, target = spec.rpartition(":")
+    if not base or not target or int(target) != index:
+        return
+    ready = Path(base + ".ready")
+    if ready.exists():
+        return  # the barrier already fired (retry or resumed campaign)
+    ready.touch()
+    go = Path(base + ".go")
+    while not go.exists():
+        time.sleep(0.02)
+
+
 def _execute_unit(
     args: Tuple[int, RunSpec]
 ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, Any]]]:
     """Worker entry point: run one spec, return (index, metrics, manifest)."""
     index, spec = args
     _maybe_injected_crash(index)
+    _maybe_barrier(index)
     result = execute_run(spec)
     return index, result.to_dict(), result.manifest
 
@@ -448,6 +650,7 @@ def _supervised_worker(conn, index: int, spec: RunSpec) -> None:
     monkeypatches of ``_execute_unit`` — inherited across ``fork`` — and the
     :data:`CRASH_ONCE_ENV` hook apply to supervised execution too.
     """
+    _reset_worker_signals()
     try:
         idx, metrics, manifest = _execute_unit((index, spec))
         conn.send(("ok", idx, metrics, manifest))
@@ -510,6 +713,7 @@ def _warm_worker_main(conn) -> None:
     inherited across ``fork`` at pool start — and the :data:`CRASH_ONCE_ENV`
     hook apply to warm execution too.
     """
+    _reset_worker_signals()
     while True:
         try:
             message = conn.recv()
@@ -561,6 +765,7 @@ def _run_warm_pool(
     store: Callable[[CampaignRun, Dict[str, Any], Optional[Dict[str, Any]]], None],
     quarantine: Callable[[FailedRun], None],
     telemetry: Optional[CampaignTelemetry] = None,
+    shutdown: Optional[GracefulShutdown] = None,
 ) -> None:
     """Run ``pending`` on a persistent pool of ``jobs`` warm workers.
 
@@ -578,6 +783,13 @@ def _run_warm_pool(
       lives in the ready-queue, so a waiting retry never blocks a worker);
     * units that exhaust their retries are quarantined and the campaign
       completes without them.
+
+    ``shutdown.requested`` turns the loop into a drain: no new spawns or
+    dispatches, in-flight batches are awaited until ``shutdown.abort``
+    (force or deadline), then every worker is stopped — TERM escalating to
+    KILL for any that ignore it.  Units never dispatched (or requeued by
+    retries during the drain) stay unexecuted and unjournaled: they are the
+    remainder a resume picks up.
     """
     ctx = _pool_context()
     target_workers = max(1, min(jobs, len(pending)))
@@ -730,13 +942,20 @@ def _run_warm_pool(
 
     try:
         while queue or any(not w.idle for w in workers.values()):
-            # Keep the pool at strength: crashed workers are replaced as
-            # long as there is (or will be) work for them.
-            while len(workers) < target_workers and (
-                queue or any(not w.idle for w in workers.values())
-            ):
-                spawn(replacement=True)
-            dispatch()
+            draining = shutdown is not None and shutdown.requested
+            if draining:
+                # Drain: no new spawns or dispatches; leave once every
+                # in-flight batch has resolved or the deadline/force hits.
+                if shutdown.abort or all(w.idle for w in workers.values()):
+                    break
+            else:
+                # Keep the pool at strength: crashed workers are replaced
+                # as long as there is (or will be) work for them.
+                while len(workers) < target_workers and (
+                    queue or any(not w.idle for w in workers.values())
+                ):
+                    spawn(replacement=True)
+                dispatch()
             if telemetry is not None:
                 telemetry.tick()
             now = time.monotonic()
@@ -799,6 +1018,7 @@ def _run_supervised(
     store: Callable[[CampaignRun, Dict[str, Any], Optional[Dict[str, Any]]], None],
     quarantine: Callable[[FailedRun], None],
     telemetry: Optional[CampaignTelemetry] = None,
+    shutdown: Optional[GracefulShutdown] = None,
 ) -> None:
     """Run ``pending`` under crash/hang supervision, ``jobs`` at a time.
 
@@ -807,6 +1027,11 @@ def _run_supervised(
     bounded by the nearest watchdog deadline / backoff expiry, reaps
     results, terminates over-deadline workers, and requeues failures with
     exponential backoff until their retry budget runs out.
+
+    ``shutdown.requested`` turns the loop into a drain (see
+    :func:`_run_warm_pool`): no new launches, in-flight attempts are
+    awaited until ``shutdown.abort``, then any still-running worker is
+    terminated and its unit left unrecorded for a resume to re-execute.
     """
     ctx = _pool_context()
     workers = min(jobs, len(pending))
@@ -903,7 +1128,12 @@ def _run_supervised(
             handle_failure(entry, error)
 
     while queue or active:
-        launch_ready()
+        draining = shutdown is not None and shutdown.requested
+        if draining:
+            if shutdown.abort or not active:
+                break
+        else:
+            launch_ready()
         now = time.monotonic()
         if not active:
             # Every remaining unit is waiting out its backoff.
@@ -929,6 +1159,20 @@ def _run_supervised(
         ]:
             reap(conn, timed_out=True)
 
+    # Drain abandoned with attempts still in flight: terminate them and
+    # leave their units unrecorded — a resume re-executes exactly those.
+    for conn, entry in list(active.items()):
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        _terminate(entry.process)
+        if telemetry is not None:
+            telemetry.worker_exited(
+                entry.wid, "stop", exitcode=entry.process.exitcode
+            )
+    active.clear()
+
 
 ProgressFn = Callable[[RunRecord, int, int], None]
 
@@ -943,6 +1187,9 @@ def run_campaign(
     policy: Optional[RetryPolicy] = None,
     pool_mode: str = "warm",
     telemetry: Optional[CampaignTelemetry] = None,
+    journal: Optional[CampaignJournal] = None,
+    resume: Optional[JournalReplay] = None,
+    shutdown: Optional[GracefulShutdown] = None,
 ) -> CampaignResult:
     """Run every ``(spec, replication)`` in ``grid``; return ordered records.
 
@@ -969,9 +1216,20 @@ def run_campaign(
     does can reach a worker or a result, so metrics and fingerprints are
     byte-identical with telemetry on or off.
 
+    Crash safety: ``journal`` (a :class:`~repro.experiments.journal.
+    CampaignJournal`) write-ahead-records the plan before any dispatch and
+    every completion/quarantine after it.  ``resume`` (a
+    :class:`~repro.experiments.journal.JournalReplay`) replays a previous
+    generation: it requires a ``cache``, verifies the plan digest matches,
+    re-verifies every journaled completion against the cache (drifted or
+    missing entries re-execute), and dispatches only the remainder.
+    ``shutdown`` (a :class:`GracefulShutdown`) lets SIGINT/SIGTERM stop the
+    campaign cooperatively — the result comes back with
+    ``interrupted=True`` and the journal closes resumable.
+
     The returned records are always in grid order, and their metrics are
-    byte-identical for any ``jobs`` value and any ``pool_mode``: seeds come
-    from :func:`plan_campaign`, never from scheduling.
+    byte-identical for any ``jobs`` value and any ``pool_mode`` — resumed
+    or not: seeds come from :func:`plan_campaign`, never from scheduling.
     """
     if pool_mode not in POOL_MODES:
         raise ValueError(
@@ -982,6 +1240,14 @@ def run_campaign(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     policy = policy if policy is not None else RetryPolicy()
+    if resume is not None:
+        if cache is None:
+            raise ValueError(
+                "resume requires a cache: journaled completions are "
+                "re-verified against (and their results read from) the "
+                "content-addressed cache"
+            )
+        resume.verify_plan(runs)
 
     records: Dict[int, RunRecord] = {}
     failed: List[FailedRun] = []
@@ -992,6 +1258,11 @@ def run_campaign(
         telemetry.begin_campaign(
             len(runs), pool_mode, jobs,
             base_seed=base_seed, replications=replications,
+        )
+    if journal is not None:
+        journal.begin(
+            runs, pool_mode=pool_mode, base_seed=base_seed,
+            replications=replications, resumed=resume is not None,
         )
 
     def finish(record: RunRecord) -> None:
@@ -1007,6 +1278,8 @@ def run_campaign(
         nonlocal done
         failed.append(failure)
         done += 1
+        if journal is not None:
+            journal.failed(failure.run, failure.error, failure.attempts)
         if telemetry is not None:
             telemetry.quarantined(
                 failure.run.index, failure.attempts, failure.error
@@ -1014,13 +1287,33 @@ def run_campaign(
             telemetry.progress(done, len(runs), len(failed))
 
     pending: List[CampaignRun] = []
+    verified = drift = 0
     for run in runs:
+        if shutdown is not None and shutdown.requested:
+            # Interrupted during cache resolution: everything not yet
+            # resolved stays pending-and-undispatched → the remainder.
+            pending = []
+            break
         payload = None
         if cache is not None:
             seen_evictions = cache.evictions
             payload = cache.get(run.digest)
             if telemetry is not None and cache.evictions > seen_evictions:
                 telemetry.cache_evicted(run.index, run.digest)
+        if resume is not None and run.index in resume.completed:
+            # Re-verify the journaled completion against the cache: the
+            # entry must exist, pass its checksum (cache.get), and hash to
+            # the journaled result digest.  Anything else is drift — the
+            # unit re-executes.
+            if (
+                payload is not None
+                and stable_digest(payload["result"])
+                == resume.completed[run.index]
+            ):
+                verified += 1
+            else:
+                drift += 1
+                payload = None
         if payload is not None:
             if telemetry is not None:
                 telemetry.cache_hit(run.index, run.digest)
@@ -1031,6 +1324,9 @@ def run_campaign(
                     "cache", run.index, 0, "ok", cached=True,
                     scenario=run.scenario[:12], replication=run.replication,
                 )
+            if journal is not None:
+                journal.done(run, stable_digest(payload["result"]),
+                             cached=True)
             finish(RunRecord(run=run, metrics=payload["result"], cached=True,
                              manifest=payload.get("manifest")))
         else:
@@ -1038,10 +1334,20 @@ def run_campaign(
                 telemetry.cache_miss(run.index, run.digest)
             pending.append(run)
 
+    if resume is not None and telemetry is not None:
+        telemetry.campaign_resumed(
+            str(resume.path), verified=verified, drift=drift,
+            remainder=len(pending),
+        )
+
     def store(run: CampaignRun, metrics: Dict[str, Any],
               manifest: Optional[Dict[str, Any]]) -> None:
         if cache is not None:
             cache.put(run.digest, {"result": metrics, "manifest": manifest})
+        if journal is not None:
+            # Journaled after cache.put: a done record implies the cache
+            # holds the result, which is what resume verification assumes.
+            journal.done(run, stable_digest(metrics), cached=False)
         finish(RunRecord(run=run, metrics=metrics, cached=False,
                          manifest=manifest))
 
@@ -1054,6 +1360,8 @@ def run_campaign(
         if telemetry is not None:
             telemetry.worker_spawned("main", os.getpid())
         for run in pending:
+            if shutdown is not None and shutdown.requested:
+                break  # in-flight unit finished; the rest stay unexecuted
             attempt = 0
             while True:
                 attempt += 1
@@ -1088,22 +1396,56 @@ def run_campaign(
         if telemetry is not None:
             telemetry.worker_exited("main", "stop")
     elif pending and pool_mode == "per-attempt":
-        _run_supervised(pending, jobs, policy, store, quarantine, telemetry)
+        _run_supervised(pending, jobs, policy, store, quarantine, telemetry,
+                        shutdown)
     elif pending:
-        _run_warm_pool(pending, jobs, policy, store, quarantine, telemetry)
+        _run_warm_pool(pending, jobs, policy, store, quarantine, telemetry,
+                       shutdown)
 
     failed.sort(key=lambda f: f.run.index)
     evictions = (cache.evictions - evictions_before) if cache is not None else 0
+    remaining = len(runs) - len(records) - len(failed)
+    # A signal that lands after the last unit resolves is not an
+    # interruption: nothing is missing, the campaign simply completed.
+    interrupted = (
+        shutdown is not None and shutdown.requested and remaining > 0
+    )
     result = CampaignResult(
         records=[records[i] for i in sorted(records)],
         failed=failed,
         cache_evictions=evictions,
+        interrupted=interrupted,
+        planned=len(runs),
     )
     if telemetry is not None:
+        if interrupted:
+            telemetry.campaign_interrupted(
+                shutdown.signal_name or "manual",
+                done=done, total=len(runs),
+            )
         telemetry.end_campaign(
             executed=result.executed,
             cache_hits=result.cache_hits,
             cache_evictions=evictions,
             failed=len(failed),
+            interrupted=interrupted,
+            remaining=remaining,
+        )
+    if journal is not None:
+        if interrupted:
+            status = "interrupted"
+        elif failed:
+            status = "partial"
+        else:
+            status = "ok"
+        journal.end(
+            status=status,
+            # No fingerprint for an interrupted generation: the digest of a
+            # partial record set would collide meaninglessly with nothing.
+            fingerprint=None if interrupted else result.fingerprint(),
+            executed=result.executed,
+            cache_hits=result.cache_hits,
+            quarantined=len(failed),
+            remaining=remaining,
         )
     return result

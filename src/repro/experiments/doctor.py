@@ -1,0 +1,358 @@
+"""``repro-muzha doctor`` — fsck for campaign state on disk.
+
+A campaign leaves three artifacts behind: the content-addressed result
+cache, the write-ahead journal, and (optionally) a span log.  All three
+are designed to survive crashes — atomic cache writes, per-line journal
+flushes, torn-tail-tolerant readers — but a killed coordinator, a full
+disk, or a stray ``cp -r`` can still leave debris.  This module walks a
+cache/journal/span-log triple and reports (or, with ``repair=True``,
+fixes) what it finds:
+
+* **orphaned tmp files** in the cache — the write-in-progress a killed
+  ``CampaignCache.put`` left behind (never visible to readers; safe to
+  delete);
+* **corrupt cache envelopes** — zero-length files, broken JSON, missing
+  fields, checksum mismatches (``get`` would evict these lazily; doctor
+  finds them all eagerly);
+* **journal damage** — a torn final line (killed writer; repair truncates
+  it), mid-file corruption, schema violations;
+* **journal/cache drift** — journaled completions whose cache entry is
+  missing, corrupt, or hashes to a different ``result_digest`` than the
+  journal recorded (these re-execute on resume; repair deletes the
+  drifted entry so the re-execution starts clean);
+* **unclosed span logs** — spans opened but never closed, the signature
+  of a killed campaign (informational; ``repro-muzha report`` renders
+  such logs as partial).
+
+Every diagnosis is a :class:`Finding`; nothing here ever *executes* a
+simulation, takes the cache lock for reads, or mutates anything unless
+``repair=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs.provenance import stable_digest
+from ..obs.spans import read_span_log
+from ..obs.validate import validate_journal_file
+from .campaign import CampaignCache, _envelope_checksum
+from .journal import JournalError, read_journal, replay_journal
+
+PathLike = Union[str, Path]
+
+#: Finding severities: ``error`` blocks a clean resume or hides results;
+#: ``warn`` is survivable debris (resume/report already tolerate it);
+#: ``info`` is state worth knowing about (an interrupted, resumable run).
+SEVERITIES = ("error", "warn", "info")
+
+
+@dataclass
+class Finding:
+    """One diagnosed problem (or notable state) in campaign artifacts."""
+
+    severity: str  # one of SEVERITIES
+    category: str  # e.g. "orphan-tmp", "corrupt-envelope", "journal-drift"
+    path: str
+    detail: str
+    repaired: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "severity": self.severity,
+            "category": self.category,
+            "path": self.path,
+            "detail": self.detail,
+            "repaired": self.repaired,
+        }
+
+
+def _read_envelope(path: Path) -> Optional[str]:
+    """Why this cache entry is bad, or None if it is healthy.
+
+    A read-only re-implementation of the :meth:`CampaignCache.get`
+    validation chain: doctor must never evict as a side effect of
+    *diagnosing* (that is what ``repair`` is for).
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return f"unreadable: {exc}"
+    if not text:
+        return "zero-length file"
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return f"truncated or invalid JSON: {exc}"
+    if (
+        not isinstance(payload, dict)
+        or "result" not in payload
+        or "checksum" not in payload
+    ):
+        return "malformed envelope (missing result/checksum)"
+    expected = _envelope_checksum(payload["result"], payload.get("manifest"))
+    if payload["checksum"] != expected:
+        return "checksum mismatch (corrupted content)"
+    return None
+
+
+def _remove(path: Path) -> bool:
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False
+
+
+def diagnose_cache(root: PathLike, repair: bool = False) -> List[Finding]:
+    """Findings for one campaign cache directory."""
+    root = Path(root)
+    findings: List[Finding] = []
+    if not root.is_dir():
+        findings.append(Finding(
+            "error", "cache-missing", str(root),
+            "cache directory does not exist",
+        ))
+        return findings
+    # Orphaned write-in-progress files: the current hidden pid-unique form
+    # (.<digest>.<pid>.tmp) and the legacy <digest>.tmp form both end in
+    # .tmp, and pathlib's ``*`` matches dotfiles, so one glob covers both.
+    for tmp in sorted(root.glob("*/*.tmp")):
+        finding = Finding(
+            "warn", "orphan-tmp", str(tmp),
+            "orphaned write-in-progress file (coordinator killed "
+            "mid-put); never visible to readers",
+        )
+        if repair:
+            finding.repaired = _remove(tmp)
+        findings.append(finding)
+    for entry in sorted(root.glob("*/*.json")):
+        reason = _read_envelope(entry)
+        if reason is None:
+            continue
+        finding = Finding(
+            "error", "corrupt-envelope", str(entry),
+            f"{reason}; the engine would evict and recompute this entry "
+            "on read",
+        )
+        if repair:
+            finding.repaired = _remove(entry)
+        findings.append(finding)
+    return findings
+
+
+def _truncate_torn_tail(path: Path) -> bool:
+    """Cut a journal back to its last complete line."""
+    try:
+        data = path.read_bytes()
+        cut = data.rfind(b"\n")
+        path.write_bytes(data[: cut + 1] if cut >= 0 else b"")
+        return True
+    except OSError:
+        return False
+
+
+def diagnose_journal(
+    path: PathLike,
+    cache: Optional[PathLike] = None,
+    repair: bool = False,
+) -> List[Finding]:
+    """Findings for one write-ahead journal (+ drift against ``cache``)."""
+    path = Path(path)
+    findings: List[Finding] = []
+    if not path.is_file():
+        findings.append(Finding(
+            "error", "journal-missing", str(path), "journal does not exist",
+        ))
+        return findings
+    try:
+        _, truncated = read_journal(path)
+    except JournalError as exc:
+        findings.append(Finding(
+            "error", "journal-corrupt", str(path),
+            f"unreadable past repair: {exc}",
+        ))
+        return findings
+    if truncated:
+        finding = Finding(
+            "warn", "journal-torn-tail", str(path),
+            "partial final line (writer killed mid-record); replay "
+            "ignores it, repair truncates it",
+        )
+        if repair:
+            finding.repaired = _truncate_torn_tail(path)
+        findings.append(finding)
+    for violation in validate_journal_file(path, allow_torn_tail=True):
+        findings.append(Finding(
+            "error", "journal-schema", str(path), violation,
+        ))
+    try:
+        replay = replay_journal(path)
+    except JournalError as exc:
+        findings.append(Finding(
+            "error", "journal-corrupt", str(path), str(exc),
+        ))
+        return findings
+    if replay.interrupted:
+        findings.append(Finding(
+            "info", "journal-interrupted", str(path),
+            f"campaign interrupted with {replay.remaining} of "
+            f"{replay.total} units remaining; resume with "
+            "--resume",
+        ))
+    if cache is None:
+        return findings
+    store = CampaignCache(cache)
+    for index, result_digest in sorted(replay.completed.items()):
+        planned = replay.planned.get(index)
+        if planned is None:
+            # validate_journal_file already flagged the unplanned done.
+            continue
+        entry = store._path(planned["digest"])
+        reason = None
+        if not entry.is_file():
+            reason = "cache entry missing"
+        else:
+            reason = _read_envelope(entry)
+            if reason is None:
+                payload = json.loads(entry.read_text(encoding="utf-8"))
+                if stable_digest(payload["result"]) != result_digest:
+                    reason = (
+                        "cache result digest differs from the journaled one"
+                    )
+        if reason is None:
+            continue
+        finding = Finding(
+            "warn", "journal-drift", str(entry),
+            f"unit {index} is journaled done but {reason}; it re-executes "
+            "on resume",
+        )
+        if repair and entry.is_file():
+            # Delete the drifted entry so the re-execution starts clean.
+            finding.repaired = _remove(entry)
+        findings.append(finding)
+    return findings
+
+
+def diagnose_spans(path: PathLike, repair: bool = False) -> List[Finding]:
+    """Findings for one campaign span log."""
+    path = Path(path)
+    findings: List[Finding] = []
+    if not path.is_file():
+        findings.append(Finding(
+            "error", "spans-missing", str(path), "span log does not exist",
+        ))
+        return findings
+    raw = path.read_text(encoding="utf-8")
+    if raw and not raw.endswith("\n"):
+        finding = Finding(
+            "warn", "spans-torn-tail", str(path),
+            "partial final line (writer killed mid-record)",
+        )
+        if repair:
+            finding.repaired = _truncate_torn_tail(path)
+        findings.append(finding)
+    try:
+        records = read_span_log(path, skip_partial_tail=True)
+    except ValueError as exc:
+        findings.append(Finding(
+            "error", "spans-corrupt", str(path), str(exc),
+        ))
+        return findings
+    open_spans: Dict[str, str] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span_open":
+            open_spans[record.get("id", "?")] = record.get("span", "?")
+        elif kind == "span_close":
+            open_spans.pop(record.get("id", "?"), None)
+    if open_spans:
+        names = ", ".join(
+            f"{sid} ({name})" for sid, name in sorted(open_spans.items())
+        )
+        findings.append(Finding(
+            "warn", "spans-unclosed", str(path),
+            f"{len(open_spans)} span(s) never closed — killed campaign? "
+            f"({names}); `repro-muzha report` renders this log as partial",
+        ))
+    return findings
+
+
+@dataclass
+class DoctorReport:
+    """Everything one ``doctor`` invocation diagnosed."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def unrepaired_errors(self) -> List[Finding]:
+        return [f for f in self.errors if not f.repaired]
+
+    @property
+    def healthy(self) -> bool:
+        """No unrepaired errors (warnings/info do not fail a checkup)."""
+        return not self.unrepaired_errors
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "healthy": self.healthy,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def run_doctor(
+    cache: Optional[PathLike] = None,
+    journal: Optional[PathLike] = None,
+    spans: Optional[PathLike] = None,
+    repair: bool = False,
+) -> DoctorReport:
+    """Diagnose any combination of cache / journal / span-log artifacts."""
+    report = DoctorReport()
+    if cache is not None:
+        report.findings.extend(diagnose_cache(cache, repair=repair))
+    if journal is not None:
+        report.findings.extend(
+            diagnose_journal(journal, cache=cache, repair=repair)
+        )
+    if spans is not None:
+        report.findings.extend(diagnose_spans(spans, repair=repair))
+    return report
+
+
+def format_report(report: DoctorReport) -> str:
+    """Human-readable rendering of a :class:`DoctorReport`."""
+    if not report.findings:
+        return "doctor: no findings — campaign state is healthy"
+    lines = []
+    for finding in report.findings:
+        mark = "repaired" if finding.repaired else finding.severity
+        lines.append(
+            f"[{mark}] {finding.category}: {finding.path}\n"
+            f"    {finding.detail}"
+        )
+    errors = len(report.unrepaired_errors)
+    repaired = sum(1 for f in report.findings if f.repaired)
+    lines.append(
+        f"doctor: {len(report.findings)} finding(s), "
+        f"{repaired} repaired, {errors} unrepaired error(s)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DoctorReport",
+    "Finding",
+    "SEVERITIES",
+    "diagnose_cache",
+    "diagnose_journal",
+    "diagnose_spans",
+    "format_report",
+    "run_doctor",
+]

@@ -128,6 +128,11 @@ class RunResult:
             "metrics": self.metrics,
         }
 
+    def result_digest(self) -> str:
+        """Content digest of the canonical result — the identity journaled
+        by the campaign write-ahead log and stamped into manifests."""
+        return stable_digest(self.to_dict())
+
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
         return cls(
@@ -310,7 +315,7 @@ def _finish(
     )
     harvest_s = time.perf_counter() - harvest_start
     serialize_start = time.perf_counter()
-    result_digest = stable_digest(result.to_dict())
+    result_digest = result.result_digest()
     serialize_s = time.perf_counter() - serialize_start
     result.manifest = build_manifest(
         seed=config.seed,

@@ -18,7 +18,7 @@ and gated emits, and this package harvests, records, and attributes:
 * :mod:`~repro.obs.report` — span-log aggregation behind
   ``repro-muzha report``.
 * :mod:`~repro.obs.validate` — dependency-free schema validation for
-  trace files, span logs and manifests.
+  trace files, span logs, campaign journals and manifests.
 """
 
 from .engine import CampaignTelemetry, WorkerHealth, read_rss_kb
@@ -52,6 +52,7 @@ from .spans import (
 from .validate import (
     load_schema,
     validate,
+    validate_journal_file,
     validate_manifest_file,
     validate_span_file,
     validate_trace_file,
@@ -93,6 +94,7 @@ __all__ = [
     "render_report",
     "load_schema",
     "validate",
+    "validate_journal_file",
     "validate_manifest_file",
     "validate_span_file",
     "validate_trace_file",

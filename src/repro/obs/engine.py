@@ -186,7 +186,9 @@ class CampaignTelemetry:
         return span.id
 
     def end_campaign(self, *, executed: int, cache_hits: int,
-                     cache_evictions: int, failed: int) -> None:
+                     cache_evictions: int, failed: int,
+                     interrupted: bool = False,
+                     remaining: int = 0) -> None:
         if self._campaign is None or self._campaign_done:
             return
         now_wall = wall_clock()
@@ -197,7 +199,10 @@ class CampaignTelemetry:
             self._final_heartbeat(worker, now_wall, now)
         for worker in list(self._batches):
             self._close_batch(worker, status="aborted")
-        status = "ok" if failed == 0 else "error"
+        if interrupted:
+            status = "interrupted"
+        else:
+            status = "ok" if failed == 0 else "error"
         attrs: Dict[str, Any] = {
             "executed": executed,
             "cache_hits": cache_hits,
@@ -205,6 +210,8 @@ class CampaignTelemetry:
             "failed": failed,
             "counters": dict(sorted(self.counters.items())),
         }
+        if interrupted or remaining:
+            attrs["remaining"] = remaining
         if self.phy_counters:
             attrs["phy"] = dict(sorted(self.phy_counters.items()))
         self.writer.write(
@@ -398,6 +405,21 @@ class CampaignTelemetry:
 
     def cache_evicted(self, index: int, digest: str) -> None:
         self.event("cache.evict", index=index, digest=digest[:12])
+
+    # -- interrupt / resume ------------------------------------------------------
+
+    def campaign_resumed(self, journal: str, verified: int, drift: int,
+                         remainder: int) -> None:
+        """A resume replayed ``journal``: ``verified`` completions held up
+        against the cache, ``drift`` did not (they re-execute)."""
+        self.event("campaign.resume", journal=journal, verified=verified,
+                   drift=drift, remainder=remainder)
+
+    def campaign_interrupted(self, signal_name: str, done: int,
+                             total: int) -> None:
+        """Graceful shutdown began: stop dispatching, drain in-flight."""
+        self.event("campaign.interrupt", signal=signal_name, done=done,
+                   total=total)
 
     # -- retries / quarantine ----------------------------------------------------
 

@@ -77,13 +77,18 @@ def aggregate_span_log(
 ) -> Dict[str, Any]:
     """Fold one span log into a plain-data campaign summary.
 
-    Tolerates a log whose campaign span never closed (coordinator killed
-    mid-run): the summary then covers what was recorded, with
-    ``campaign.status`` reported as ``"incomplete"``.
+    Tolerates a log from a killed campaign: an unclosed campaign/batch/unit
+    span (coordinator SIGKILLed mid-run) or a torn final line (killed
+    mid-write) yields a *partial* summary covering what was recorded, with
+    ``campaign.status`` reported as ``"interrupted"`` and
+    ``campaign.partial`` set — instead of a referential-validation error.
     """
     if buckets < 1:
         raise ValueError(f"buckets must be >= 1, got {buckets}")
-    records = read_span_log(path)
+    try:
+        records = read_span_log(path, skip_partial_tail=True)
+    except ValueError as exc:
+        raise SpanLogError(str(exc)) from exc
     opens: Dict[str, Dict[str, Any]] = {}
     closes: Dict[str, Dict[str, Any]] = {}
     events: List[Dict[str, Any]] = []
@@ -234,7 +239,10 @@ def aggregate_span_log(
     return {
         "campaign": {
             "id": campaign_open["id"],
-            "status": (campaign_close or {}).get("status", "incomplete"),
+            # A campaign span that never closed is a killed (or still
+            # running) campaign: report it as interrupted, not an error.
+            "status": (campaign_close or {}).get("status", "interrupted"),
+            "partial": campaign_close is None,
             "pool_mode": c_attrs.get("pool_mode"),
             "jobs": c_attrs.get("jobs"),
             "total": c_attrs.get("total"),
@@ -245,6 +253,7 @@ def aggregate_span_log(
             "executed": end_attrs.get("executed", len(executed_units)),
             "cache_hits": end_attrs.get("cache_hits", cache["hits"]),
             "failed": end_attrs.get("failed", len(quarantined)),
+            "remaining": end_attrs.get("remaining", 0),
             "counters": end_attrs.get("counters", {}),
         },
         "timeline": timeline,
@@ -286,6 +295,18 @@ def format_report(summary: Dict[str, Any]) -> str:
         + (f", {rate:.1f} units/s" if rate is not None else "")
         + f", {summary['batches']} dispatch batches"
     )
+    if campaign.get("partial"):
+        lines.append(
+            "  log ends mid-campaign (killed or still running) — "
+            "aggregates below are PARTIAL"
+        )
+    elif campaign["status"] == "interrupted":
+        remaining = campaign.get("remaining")
+        lines.append(
+            "  campaign was interrupted by graceful shutdown"
+            + (f" ({remaining} units remaining)" if remaining else "")
+            + " — resumable with --resume"
+        )
 
     timeline = summary["timeline"]
     if timeline["bucket_s"] > 0:

@@ -53,8 +53,10 @@ RECORD_KINDS = ("span_open", "span_close", "event", "heartbeat", "progress")
 #: Terminal statuses a span may close with.  ``ok`` is a completed unit or
 #: batch; ``error`` is a unit whose worker reported an exception; ``crash``
 #: and ``timeout`` are supervisor verdicts (pipe EOF / watchdog kill);
-#: ``aborted`` marks a batch cut short by its worker dying mid-stream.
-SPAN_STATUSES = ("ok", "error", "crash", "timeout", "aborted")
+#: ``aborted`` marks a batch cut short by its worker dying mid-stream;
+#: ``interrupted`` closes a campaign span cut short by graceful shutdown
+#: (SIGINT/SIGTERM drained and checkpointed — resumable).
+SPAN_STATUSES = ("ok", "error", "crash", "timeout", "aborted", "interrupted")
 
 SpanTarget = Union[str, Path, int, IO[str]]
 
@@ -175,23 +177,31 @@ class SpanIdAllocator:
         return f"{self._PREFIX.get(name, 's')}{self._next}"
 
 
-def read_span_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
+def read_span_log(path: Union[str, Path],
+                  skip_partial_tail: bool = False) -> List[Dict[str, Any]]:
     """All records of an NDJSON span log, in file order.
 
     Raises ``ValueError`` on an unparsable line — use
     :func:`repro.obs.validate.validate_span_file` for a diagnostic listing
-    instead of an exception.
+    instead of an exception.  ``skip_partial_tail=True`` tolerates exactly
+    one torn *final* line with no trailing newline — what a coordinator
+    killed mid-write leaves behind — so post-mortem consumers
+    (``repro-muzha report``, ``doctor``) can aggregate a partial log.
     """
+    text = Path(path).read_text(encoding="utf-8")
+    torn_tail = skip_partial_tail and bool(text) and not text.endswith("\n")
+    lines = text.splitlines()
     records: List[Dict[str, Any]] = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}: line {lineno}: {exc}") from exc
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if torn_tail and lineno == len(lines):
+                break
+            raise ValueError(f"{path}: line {lineno}: {exc}") from exc
     return records
 
 

@@ -9,6 +9,8 @@ and wires it into loaders for those schemas:
 * ``schemas/trace_record.schema.json`` — one NDJSON trace line;
 * ``schemas/span_record.schema.json`` — one NDJSON campaign-telemetry
   line (span open/close, coordinator event, heartbeat, progress);
+* ``schemas/journal_record.schema.json`` — one NDJSON line of a campaign
+  write-ahead journal (plan, completions, quarantines, generation ends);
 * ``schemas/run_manifest.schema.json`` — a run provenance manifest.
 
 NDJSON readers treat an *empty* file and a *truncated final line* (no
@@ -216,6 +218,95 @@ def validate_span_file(path: PathLike) -> List[str]:
     return errors
 
 
+#: Per-kind required fields of a journal record, enforced on top of the
+#: (necessarily permissive) committed schema.
+_JOURNAL_KIND_REQUIRED = {
+    "begin": ("t", "schema", "total", "base_seed", "replications",
+              "pool_mode", "plan_digest", "resumed"),
+    "planned": ("index", "scenario", "replication", "seed", "digest"),
+    "done": ("t", "index", "digest", "result_digest", "cached"),
+    "failed": ("t", "index", "digest", "error", "attempts"),
+    "end": ("t", "status", "fingerprint", "executed", "cache_hits",
+            "quarantined", "remaining"),
+}
+
+
+def validate_journal_file(path: PathLike,
+                          allow_torn_tail: bool = False) -> List[str]:
+    """Violations in a campaign write-ahead journal.
+
+    Three layers: the NDJSON file contract, the per-line
+    ``journal_record`` schema plus per-kind required fields, and the
+    generation structure — the first record is a ``begin``, every
+    ``done``/``failed`` index was ``planned``, every generation's
+    ``plan_digest`` matches the first, and at most the *last* generation
+    is missing its ``end`` record.
+
+    ``allow_torn_tail=True`` downgrades a truncated final line from a
+    violation to silence — that is exactly what a coordinator killed
+    mid-write leaves, and :func:`repro.experiments.journal.replay_journal`
+    tolerates it by design (``doctor --repair`` truncates it).
+    """
+    schema = load_schema("journal_record")
+    text = Path(path).read_text(encoding="utf-8")
+    torn = bool(text.strip()) and not text.endswith("\n")
+    last_lineno = text.count("\n") + (1 if torn else 0)
+    errors: List[str] = []
+    first_kind: Any = None
+    plan_digest: Any = None
+    planned: set = set()
+    ends_seen = 0
+    begins_seen = 0
+    for lineno, record, error in _iter_ndjson(path):
+        if error is not None:
+            if allow_torn_tail and torn and lineno == last_lineno:
+                continue  # the partial line a killed writer leaves behind
+            errors.append(f"line {lineno}: {error}")
+            continue
+        line_errors = validate(record, schema)
+        errors.extend(f"line {lineno}: {err}" for err in line_errors)
+        if line_errors or not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        if first_kind is None:
+            first_kind = kind
+            if kind != "begin":
+                errors.append(
+                    f"line {lineno}: journal must start with a begin "
+                    f"record, got {kind!r}"
+                )
+        for name in _JOURNAL_KIND_REQUIRED.get(kind, ()):
+            if name not in record:
+                errors.append(
+                    f"line {lineno}: {kind} record missing {name!r}"
+                )
+        if kind == "begin":
+            if begins_seen > ends_seen:
+                errors.append(
+                    f"line {lineno}: begin record before the previous "
+                    "generation ended"
+                )
+            begins_seen += 1
+            if plan_digest is None:
+                plan_digest = record.get("plan_digest")
+            elif record.get("plan_digest") != plan_digest:
+                errors.append(
+                    f"line {lineno}: plan_digest differs from the first "
+                    "generation's (mixed campaigns in one journal)"
+                )
+        elif kind == "planned":
+            planned.add(record.get("index"))
+        elif kind in ("done", "failed"):
+            if planned and record.get("index") not in planned:
+                errors.append(
+                    f"line {lineno}: {kind} record for unplanned unit "
+                    f"index {record.get('index')!r}"
+                )
+        elif kind == "end":
+            ends_seen += 1
+    return errors
+
+
 def validate_manifest_file(path: PathLike) -> List[str]:
     """Schema + digest-consistency violations in a manifest JSON file."""
     try:
@@ -243,10 +334,17 @@ def main(argv: Any = None) -> int:
                              "(repeatable)")
     parser.add_argument("--manifest", action="append", default=[],
                         help="manifest JSON file to validate (repeatable)")
+    parser.add_argument("--journal", action="append", default=[],
+                        help="campaign write-ahead journal to validate "
+                             "(repeatable)")
+    parser.add_argument("--allow-torn-tail", action="store_true",
+                        help="tolerate a truncated final journal line "
+                             "(what a killed coordinator leaves behind)")
     args = parser.parse_args(argv)
-    if not args.trace and not args.spans and not args.manifest:
+    if not (args.trace or args.spans or args.manifest or args.journal):
         parser.error(
-            "nothing to validate: pass --trace, --spans and/or --manifest"
+            "nothing to validate: pass --trace, --spans, --manifest "
+            "and/or --journal"
         )
     failures = 0
 
@@ -266,6 +364,10 @@ def main(argv: Any = None) -> int:
         check(span_path, validate_span_file(span_path))
     for manifest_path in args.manifest:
         check(manifest_path, validate_manifest_file(manifest_path))
+    for journal_path in args.journal:
+        check(journal_path, validate_journal_file(
+            journal_path, allow_torn_tail=args.allow_torn_tail
+        ))
     return 1 if failures else 0
 
 

@@ -283,6 +283,69 @@ def test_quarantined_units_do_not_poison_the_cache(tmp_path, monkeypatch):
     assert healed.complete and healed.executed == 1
 
 
+# ---------------------------------------------------------------------------
+# Durable cache writes (crash-safe put) and the mutation lock
+
+
+def test_cache_put_fsyncs_the_tmp_file_and_its_directory(tmp_path, monkeypatch):
+    """``put`` must fsync the tmp file before the rename and the directory
+    after it — otherwise a power cut can leave a zero-length "committed"
+    entry (the classic rename-without-fsync hole)."""
+    synced_fds = []
+    real_fsync = os.fsync
+
+    def recording_fsync(fd):
+        synced_fds.append(os.fstat(fd).st_mode)
+        real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", recording_fsync)
+    cache = CampaignCache(tmp_path / "cache")
+    cache.put("ab" + "0" * 14, {"result": {"x": 1}, "manifest": None})
+
+    import stat
+    kinds = [stat.S_ISDIR(mode) for mode in synced_fds]
+    assert False in kinds, "the entry file itself was never fsynced"
+    assert True in kinds, "the shard directory was never fsynced"
+    assert kinds.index(False) < kinds.index(True), \
+        "file must be durable before the rename is"
+
+
+def test_truncated_at_rename_entry_is_evicted_and_recomputed(tmp_path):
+    """A zero-length committed entry — what rename-before-fsync used to
+    allow after a power cut — must read as a miss and heal on rerun."""
+    cache = CampaignCache(tmp_path / "cache")
+    baseline = run_campaign(tiny_grid(), jobs=1, cache=cache)
+    entry = cache_files(cache.root)[0]
+    entry.write_text("")  # truncated to nothing at the rename point
+
+    with pytest.warns(CacheCorruptionWarning, match="invalid JSON"):
+        again = run_campaign(tiny_grid(), jobs=1, cache=cache)
+    assert again.executed == 1 and again.cache_hits == 0
+    assert again.fingerprint() == baseline.fingerprint()
+    assert json.loads(entry.read_text())["result"]  # healed on disk
+
+
+def test_cache_put_leaves_no_tmp_debris_and_creates_the_lock(tmp_path):
+    cache = CampaignCache(tmp_path / "cache")
+    run_campaign(tiny_grid(), jobs=1, cache=cache)
+    assert list(cache.root.glob("*/*.tmp")) == []
+    assert cache.lock_path.exists()  # the flock sidecar
+
+
+def test_cache_put_failure_cleans_up_its_tmp_file(tmp_path, monkeypatch):
+    cache = CampaignCache(tmp_path / "cache")
+
+    def exploding_replace(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(campaign.os, "replace", exploding_replace)
+    with pytest.raises(OSError, match="disk full"):
+        cache.put("cd" + "0" * 14, {"result": {"x": 1}, "manifest": None})
+    monkeypatch.undo()
+    assert list(cache.root.glob("*/*.tmp")) == []
+    assert list(cache.root.glob("*/*.json")) == []
+
+
 def test_retry_policy_validation():
     with pytest.raises(ValueError):
         RetryPolicy(task_timeout=0.0)

@@ -1,0 +1,266 @@
+"""The campaign write-ahead journal: write/replay round-trips, fsync
+batching, plan-mismatch detection, torn-tail tolerance, and the committed
+``journal_record`` schema."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    CampaignJournal,
+    JournalError,
+    JournalPlanMismatch,
+    ScenarioConfig,
+    chain_grid,
+    plan_campaign,
+    plan_digest,
+    read_journal,
+    replay_journal,
+)
+from repro.obs.validate import validate_journal_file
+
+
+def tiny_runs(n_scenarios=2, replications=2, base_seed=7):
+    config = ScenarioConfig(sim_time=0.5, window=4)
+    grid = chain_grid(["newreno"], [2, 3][:n_scenarios], config=config)
+    return plan_campaign(grid, replications=replications, base_seed=base_seed)
+
+
+def write_generation(path, runs, done_indices, status="interrupted",
+                     resumed=False):
+    with CampaignJournal(path, resume=resumed) as journal:
+        journal.begin(runs, pool_mode="inproc", base_seed=7,
+                      replications=2, resumed=resumed)
+        for run in runs:
+            if run.index in done_indices:
+                journal.done(run, f"digest-{run.index}", cached=False)
+        journal.end(
+            status=status, fingerprint=None,
+            executed=len(done_indices), cache_hits=0, quarantined=0,
+            remaining=len(runs) - len(done_indices),
+        )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Round-trips
+
+
+def test_write_then_replay_round_trip(tmp_path):
+    runs = tiny_runs()
+    path = write_generation(tmp_path / "run.journal", runs, {0, 2})
+
+    replay = replay_journal(path)
+    assert replay.total == len(runs)
+    assert replay.plan_digest == plan_digest(runs)
+    assert replay.completed == {0: "digest-0", 2: "digest-2"}
+    assert replay.failed == {}
+    assert replay.remaining == 2
+    assert replay.generations == 1
+    assert replay.interrupted  # end status was "interrupted"
+    assert not replay.truncated_tail
+    assert sorted(replay.planned) == [r.index for r in runs]
+    assert validate_journal_file(path) == []
+
+
+def test_done_clears_an_earlier_failure_across_generations(tmp_path):
+    runs = tiny_runs()
+    path = tmp_path / "run.journal"
+    with CampaignJournal(path) as journal:
+        journal.begin(runs, pool_mode="warm", base_seed=7,
+                      replications=2, resumed=False)
+        journal.failed(runs[1], "worker crashed (exit code 9)", attempts=3)
+        journal.end(status="partial", fingerprint="abc", executed=0,
+                    cache_hits=0, quarantined=1, remaining=3)
+    with CampaignJournal(path, resume=True) as journal:
+        journal.begin(runs, pool_mode="warm", base_seed=7,
+                      replications=2, resumed=True)
+        journal.done(runs[1], "digest-1", cached=False)
+        journal.end(status="ok", fingerprint="def", executed=1,
+                    cache_hits=3, quarantined=0, remaining=0)
+
+    replay = replay_journal(path)
+    assert replay.generations == 2
+    assert 1 in replay.completed
+    assert replay.failed == {}
+    assert not replay.interrupted
+    assert replay.last_end["fingerprint"] == "def"
+    assert validate_journal_file(path) == []
+
+
+def test_journal_with_no_end_record_reads_as_interrupted(tmp_path):
+    runs = tiny_runs()
+    path = tmp_path / "run.journal"
+    with CampaignJournal(path) as journal:
+        journal.begin(runs, pool_mode="per-attempt", base_seed=7,
+                      replications=2, resumed=False)
+        journal.done(runs[0], "digest-0", cached=False)
+    replay = replay_journal(path)
+    assert replay.interrupted
+    assert replay.last_end is None
+    assert replay.completed == {0: "digest-0"}
+
+
+# ---------------------------------------------------------------------------
+# Durability mechanics
+
+
+def test_fsync_batching_syncs_every_n_records_and_at_checkpoints(
+    tmp_path, monkeypatch
+):
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd))
+
+    runs = tiny_runs()
+    journal = CampaignJournal(tmp_path / "run.journal", fsync_every=2)
+    journal.write({"kind": "done", "t": 0.0, "index": 0, "digest": "d",
+                   "result_digest": "r", "cached": False})
+    assert synced == []  # below the batch threshold
+    journal.write({"kind": "done", "t": 0.0, "index": 1, "digest": "d",
+                   "result_digest": "r", "cached": False})
+    assert len(synced) == 1  # batch threshold reached
+    journal.checkpoint()
+    assert len(synced) == 2  # explicit checkpoint always syncs
+    journal.close()
+
+
+def test_begin_is_checkpointed_before_any_dispatch(tmp_path, monkeypatch):
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd))
+    runs = tiny_runs()
+    with CampaignJournal(tmp_path / "run.journal", fsync_every=10_000) as j:
+        j.begin(runs, pool_mode="warm", base_seed=7, replications=2,
+                resumed=False)
+        assert synced  # the write-ahead step is durable immediately
+
+
+def test_fresh_journal_refuses_an_existing_nonempty_file(tmp_path):
+    path = tmp_path / "run.journal"
+    write_generation(path, tiny_runs(), {0})
+    with pytest.raises(JournalError, match="already exists"):
+        CampaignJournal(path)
+    # resume=True appends instead
+    journal = CampaignJournal(path, resume=True)
+    journal.close()
+
+
+def test_fsync_every_validation(tmp_path):
+    with pytest.raises(ValueError, match="fsync_every"):
+        CampaignJournal(tmp_path / "run.journal", fsync_every=0)
+
+
+# ---------------------------------------------------------------------------
+# Damage tolerance
+
+
+def test_torn_final_line_is_tolerated_and_reported(tmp_path):
+    runs = tiny_runs()
+    path = write_generation(tmp_path / "run.journal", runs, {0, 1})
+    text = path.read_text()
+    path.write_text(text + '{"kind": "done", "index": 3, "resu')  # no \n
+
+    records, truncated = read_journal(path)
+    assert truncated
+    assert all(r.get("index") != 3 or r["kind"] == "planned" for r in records)
+
+    replay = replay_journal(path)
+    assert replay.truncated_tail
+    assert 3 not in replay.completed  # the torn record never happened
+    assert validate_journal_file(path, allow_torn_tail=True) == []
+    assert validate_journal_file(path) != []  # strict mode still objects
+
+
+def test_midfile_corruption_is_fatal(tmp_path):
+    path = write_generation(tmp_path / "run.journal", tiny_runs(), {0})
+    lines = path.read_text().splitlines()
+    lines[2] = '{"kind": broken'
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="line 3"):
+        read_journal(path)
+
+
+def test_missing_journal_is_a_journal_error(tmp_path):
+    with pytest.raises(JournalError, match="not found"):
+        replay_journal(tmp_path / "nope.journal")
+
+
+def test_journal_must_start_with_begin(tmp_path):
+    path = tmp_path / "bad.journal"
+    path.write_text('{"kind": "done", "index": 0}\n')
+    with pytest.raises(JournalError, match="begin"):
+        replay_journal(path)
+    assert any("begin" in err for err in validate_journal_file(path))
+
+
+def test_wrong_schema_version_is_rejected(tmp_path):
+    path = write_generation(tmp_path / "run.journal", tiny_runs(), set())
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    records[0]["schema"] = 999
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    )
+    with pytest.raises(JournalError, match="schema"):
+        replay_journal(path)
+
+
+# ---------------------------------------------------------------------------
+# Plan verification
+
+
+def test_verify_plan_accepts_the_same_campaign(tmp_path):
+    runs = tiny_runs()
+    path = write_generation(tmp_path / "run.journal", runs, {0})
+    replay_journal(path).verify_plan(tiny_runs())  # fresh, equal expansion
+
+
+def test_verify_plan_rejects_a_different_seed(tmp_path):
+    runs = tiny_runs(base_seed=7)
+    path = write_generation(tmp_path / "run.journal", runs, {0})
+    with pytest.raises(JournalPlanMismatch, match="different campaign"):
+        replay_journal(path).verify_plan(tiny_runs(base_seed=8))
+
+
+def test_verify_plan_rejects_a_different_size(tmp_path):
+    runs = tiny_runs(replications=2)
+    path = write_generation(tmp_path / "run.journal", runs, {0})
+    with pytest.raises(JournalPlanMismatch, match="units"):
+        replay_journal(path).verify_plan(tiny_runs(replications=3))
+
+
+# ---------------------------------------------------------------------------
+# Schema validator structure checks
+
+
+def test_validator_flags_done_for_unplanned_unit(tmp_path):
+    path = write_generation(tmp_path / "run.journal", tiny_runs(), set())
+    with CampaignJournal(path, resume=True) as journal:
+        journal.write({"kind": "done", "t": 0.0, "index": 999,
+                       "digest": "d", "result_digest": "r", "cached": False})
+    assert any("unplanned" in err for err in validate_journal_file(path))
+
+
+def test_validator_flags_unknown_fields_and_kinds(tmp_path):
+    path = tmp_path / "bad.journal"
+    path.write_text(
+        '{"kind": "begin", "t": 0, "schema": 1, "total": 1, "base_seed": 1, '
+        '"replications": 1, "pool_mode": "warm", "plan_digest": "x", '
+        '"resumed": false, "bogus": 1}\n'
+        '{"kind": "vibes"}\n'
+    )
+    errors = validate_journal_file(path)
+    assert any("bogus" in err for err in errors)
+    assert any("vibes" in err for err in errors)
+
+
+def test_validator_flags_mixed_campaigns(tmp_path):
+    runs = tiny_runs()
+    path = write_generation(tmp_path / "run.journal", runs, set())
+    with CampaignJournal(path, resume=True) as journal:
+        journal.begin(tiny_runs(base_seed=99), pool_mode="warm", base_seed=99,
+                      replications=2, resumed=True)
+    assert any("plan_digest" in err for err in validate_journal_file(path))
+    with pytest.raises(JournalError, match="mixes campaigns"):
+        replay_journal(path)

@@ -128,8 +128,63 @@ def test_aggregate_tolerates_unclosed_campaign(tmp_path):
         tel.unit_result("w1", 0, 1, "ok")
         # coordinator killed here: no worker_exited / end_campaign
     summary = aggregate_span_log(path)
-    assert summary["campaign"]["status"] == "incomplete"
+    assert summary["campaign"]["status"] == "interrupted"
+    assert summary["campaign"]["partial"] is True
     assert summary["units"]["ok"] == 1
+    # The partial aggregates still render, flagged as such.
+    text = format_report(summary)
+    assert "aggregates below are PARTIAL" in text
+
+
+def test_aggregate_tolerates_killed_campaign_with_torn_tail(tmp_path):
+    """A SIGKILLed campaign's log — unclosed spans AND a half-written
+    final line — aggregates to a partial summary instead of erroring."""
+    path = tmp_path / "killed.ndjson"
+    with SpanWriter(path) as writer:
+        tel = CampaignTelemetry(writer)
+        tel.begin_campaign(4, "warm", 2)
+        tel.worker_spawned("w1", 101)
+        tel.worker_spawned("w2", 102)
+        tel.batch_dispatched("w1", [0, 1])
+        tel.batch_dispatched("w2", [2, 3])
+        tel.unit_result("w1", 0, 1, "ok")
+        tel.unit_result("w2", 2, 1, "ok")
+    # Kill mid-write: the final record is torn.
+    intact = path.read_text()
+    path.write_text(intact + '{"kind": "span_close", "id": "u9", "t1"')
+
+    summary = aggregate_span_log(path)
+    campaign = summary["campaign"]
+    assert campaign["status"] == "interrupted"
+    assert campaign["partial"] is True
+    assert summary["units"]["ok"] == 2  # what was recorded before the kill
+    assert summary["batches"] == 2
+    text = format_report(summary)
+    assert "aggregates below are PARTIAL" in text
+
+
+def test_gracefully_interrupted_campaign_renders_resume_hint(tmp_path):
+    """A campaign closed via graceful shutdown (SIGTERM + drain) reports
+    ``interrupted`` with the remaining-unit count and a --resume hint."""
+    path = tmp_path / "interrupted.ndjson"
+    with SpanWriter(path) as writer:
+        tel = CampaignTelemetry(writer)
+        tel.begin_campaign(4, "inproc", 1)
+        tel.unit_result("inline", 0, 1, "ok")
+        tel.unit_result("inline", 1, 1, "ok")
+        tel.campaign_interrupted("SIGTERM", done=2, total=4)
+        tel.end_campaign(executed=2, cache_hits=0, cache_evictions=0,
+                         failed=0, interrupted=True, remaining=2)
+    summary = aggregate_span_log(path)
+    campaign = summary["campaign"]
+    assert campaign["status"] == "interrupted"
+    assert campaign["partial"] is False  # the log itself closed cleanly
+    assert campaign["remaining"] == 2
+    text = format_report(summary)
+    assert "interrupted by graceful shutdown" in text
+    assert "2 units remaining" in text
+    assert "--resume" in text
+    assert "PARTIAL" not in text
 
 
 def test_aggregate_rejects_log_without_campaign(tmp_path):
