@@ -10,7 +10,13 @@ Subcommands mirror the paper's three simulations plus the parameter tables:
   (``--spans out.ndjson`` streams live campaign telemetry; ``--journal
   run.journal`` write-ahead-journals every unit so an interrupted campaign
   — Ctrl-C / SIGTERM exits with code 3 — resumes with ``--resume
-  run.journal``, executing only the remainder);
+  run.journal``, executing only the remainder; ``--pool-mode cluster
+  --listen HOST:PORT`` runs the coordinator over TCP so worker agents can
+  join from other hosts);
+* ``repro-muzha worker --connect HOST:PORT`` — a cluster worker agent:
+  dials a campaign coordinator, pulls unit batches, streams results back
+  (``--cache`` points it at a shared result store; otherwise it uses the
+  one the coordinator offers);
 * ``repro-muzha report out.ndjson`` — aggregate a campaign span log into a
   human-readable summary (throughput, worker utilization, cache hit ratio,
   retries/quarantine, slowest units);
@@ -37,6 +43,7 @@ from typing import List, Optional
 
 from .core.drai import DRAI_TABLE, apply_drai
 from .experiments import (
+    CLUSTER_REGISTRY_DIRNAME,
     PAPER_VARIANTS,
     CampaignCache,
     CampaignJournal,
@@ -48,6 +55,7 @@ from .experiments import (
     ScenarioConfig,
     SweepConfig,
     Table51Parameters,
+    TcpTransport,
     ascii_series,
     chain_grid,
     export_campaign_csv,
@@ -56,11 +64,14 @@ from .experiments import (
     format_coexistence,
     format_sweep,
     format_table,
+    make_store,
+    parse_endpoint,
     replay_journal,
     run_campaign,
     run_chain,
     run_cross,
     run_doctor,
+    run_worker_agent,
     throughput_retransmit_sweep,
 )
 from .faults import FaultPlan, FaultPlanError
@@ -75,6 +86,58 @@ from .obs import (
 )
 from .phy.batch import LANES
 from .stats import jain_index, resample
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer strictly greater than zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a finite number strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0:  # also rejects NaN
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text}"
+        )
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    """argparse type: a finite number greater than or equal to zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value >= 0:  # also rejects NaN
+        raise argparse.ArgumentTypeError(
+            f"must be zero or positive, got {text}"
+        )
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer greater than or equal to zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be zero or positive, got {value}"
+        )
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -217,10 +280,49 @@ def _cmd_dynamics(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     cache = None
     if not args.no_cache:
-        cache = CampaignCache(args.cache_dir)
+        # A directory path gives the on-disk store; an http(s):// URL a
+        # shared remote store (e.g. another host's CacheServer).
+        cache = make_store(args.cache_dir)
         if args.clear_cache:
             removed = cache.clear()
             print(f"cache cleared: {removed} entries removed")
+    if args.pool_mode != "cluster" and (
+        args.listen is not None or args.agents is not None
+    ):
+        raise SystemExit(
+            "--listen/--agents configure the TCP transport: they require "
+            "--pool-mode cluster"
+        )
+    transport = None
+    cli_owns_transport = False
+    if args.pool_mode == "cluster":
+        listen = ("127.0.0.1", 0)
+        if args.listen is not None:
+            try:
+                listen = parse_endpoint(args.listen)
+            except ValueError as exc:
+                raise SystemExit(f"bad --listen: {exc}")
+        registry = None
+        cache_spec = None
+        if cache is not None:
+            cache_spec = cache.describe()
+            if isinstance(cache, CampaignCache):
+                registry = cache.root / CLUSTER_REGISTRY_DIRNAME
+        transport = TcpTransport(
+            listen=listen,
+            spawn_agents=args.agents != 0,
+            cache_spec=cache_spec,
+            registry=registry,
+        )
+        # Open before the campaign so the endpoint is printed while
+        # external agents still have time to connect (they join late and
+        # steal work, so nothing is lost by starting without them).
+        cli_owns_transport = transport.open()
+        if args.agents == 0:
+            print(f"cluster: listening on {transport.endpoint}; waiting "
+                  "for external `repro-muzha worker` agents")
+        else:
+            print(f"cluster: listening on {transport.endpoint}")
     resume = None
     journal_path = args.journal
     if args.resume:
@@ -255,6 +357,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     grid = chain_grid(args.variants, args.hops, config=config)
     total_runs = len(grid) * args.replications
     jobs = args.workers if args.workers is not None else args.jobs
+    if args.pool_mode == "cluster" and args.agents:
+        jobs = args.agents  # agents to keep at strength = the pool size
 
     def report(record, done, total):
         run = record.run
@@ -300,10 +404,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 journal=journal,
                 resume=resume,
                 shutdown=shutdown,
+                transport=transport,
             )
     except JournalPlanMismatch as exc:
         raise SystemExit(f"cannot resume: {exc}")
     finally:
+        if cli_owns_transport:
+            transport.close()
         if journal is not None:
             journal.close()
         if span_writer is not None:
@@ -361,6 +468,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print("not resumable: the campaign ran without --journal")
         return 3
     return 0 if result.complete else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    try:
+        parse_endpoint(args.connect)
+    except ValueError as exc:
+        raise SystemExit(f"bad --connect: {exc}")
+    return run_worker_agent(args.connect, cache=args.cache, retry=args.retry)
 
 
 def _run_scenario(args: argparse.Namespace, instrument=None):
@@ -586,14 +701,35 @@ def build_parser() -> argparse.ArgumentParser:
                                "state, e.g. leaks globals or C-level state, and "
                                "a warm worker must not carry that into the next "
                                "unit); 'inproc' runs everything in this process "
-                               "(no isolation, no timeouts; best for debugging)")
-    campaign.add_argument("--workers", type=int, default=None, metavar="N",
+                               "(no isolation, no timeouts; best for debugging); "
+                               "'cluster' runs the pool over a TCP transport so "
+                               "worker agents — self-spawned locally or started "
+                               "on other hosts with `repro-muzha worker` — can "
+                               "join the campaign (see --listen/--agents)")
+    campaign.add_argument("--workers", type=_positive_int, default=None,
+                          metavar="N",
                           help="worker pool size (preferred spelling; "
                                "overrides --jobs when given)")
-    campaign.add_argument("--jobs", type=int, default=os.cpu_count(),
+    campaign.add_argument("--jobs", type=_positive_int,
+                          default=os.cpu_count(),
                           help="worker processes (1 = in-process serial)")
+    campaign.add_argument("--listen", default=None, metavar="HOST:PORT",
+                          help="cluster only: TCP address the coordinator "
+                               "listens on (default 127.0.0.1 with an "
+                               "OS-assigned port, printed at startup); bind "
+                               "a routable address to accept agents from "
+                               "other hosts")
+    campaign.add_argument("--agents", type=_nonneg_int, default=None,
+                          metavar="N",
+                          help="cluster only: local worker agents to "
+                               "self-spawn and keep at strength (default: "
+                               "the worker pool size); 0 disables "
+                               "self-spawning — the campaign then runs "
+                               "entirely on external agents that dial "
+                               "--listen")
     campaign.add_argument("--cache-dir", default="results/cache",
-                          help="on-disk result cache location")
+                          help="result cache: an on-disk directory, or an "
+                               "http(s):// URL of a shared remote store")
     campaign.add_argument("--no-cache", action="store_true",
                           help="always simulate; do not read or write the cache")
     campaign.add_argument("--clear-cache", action="store_true",
@@ -618,8 +754,8 @@ def build_parser() -> argparse.ArgumentParser:
                                "heartbeats, cache/retry events, progress) as "
                                "NDJSON to PATH — or to an inherited pipe via "
                                "'fd:N'; summarise with `repro-muzha report`")
-    campaign.add_argument("--heartbeat-interval", type=float, default=1.0,
-                          metavar="SECONDS",
+    campaign.add_argument("--heartbeat-interval", type=_positive_float,
+                          default=1.0, metavar="SECONDS",
                           help="worker heartbeat period in the span stream")
     campaign.add_argument("--journal", default=None, metavar="PATH",
                           help="write-ahead journal: the plan is recorded "
@@ -632,7 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "against the cache and only the remainder "
                                "executes; grid, replications and --seed "
                                "must match the original run")
-    campaign.add_argument("--drain-timeout", type=float, default=10.0,
+    campaign.add_argument("--drain-timeout", type=_nonneg_float, default=10.0,
                           metavar="SECONDS",
                           help="on SIGINT/SIGTERM, wait this long for "
                                "in-flight units before terminating workers "
@@ -641,6 +777,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults(campaign)
     _add_policy(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    worker = sub.add_parser(
+        "worker",
+        help="cluster worker agent: execute campaign units for a "
+             "coordinator reachable over TCP",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator endpoint (what `campaign "
+                             "--pool-mode cluster` printed, or the "
+                             "--listen address it was given)")
+    worker.add_argument("--retry", type=_nonneg_float, default=10.0,
+                        metavar="SECONDS",
+                        help="keep retrying the connection this long "
+                             "before giving up (agents may be started "
+                             "before the coordinator)")
+    worker.add_argument("--cache", default=None, metavar="SPEC",
+                        help="shared result store to consult before "
+                             "executing a unit: a directory path or an "
+                             "http(s):// URL (default: whatever store the "
+                             "coordinator offers in its handshake)")
+    worker.set_defaults(func=_cmd_worker)
 
     def add_scenario_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("scenario", choices=("chain", "cross"),

@@ -1,0 +1,529 @@
+"""Pluggable content-addressed result stores for campaign sharding.
+
+The campaign engine memoises completed runs in a content-addressed store
+keyed by :func:`repro.experiments.campaign.run_digest`.  PR 5 hard-coded
+that store to one local directory; cluster-scale sharding (PR 10) needs
+the *same* envelope contract to be servable over a network so that every
+shard of a distributed campaign — the coordinator and every remote worker
+agent — reads and writes one shared memo.  This module lifts the store
+behind a small interface:
+
+* :class:`CacheStore` — the abstract contract: ``get``/``put`` of
+  ``{"result", "manifest"}`` payloads under a digest, plus the eviction
+  counter the campaign result reports;
+* :class:`CampaignCache` — the local directory store, byte-for-byte the
+  PR 5 implementation (durable atomic writes, advisory ``flock``,
+  checksummed envelopes, lazy eviction of corrupt entries);
+* :class:`HttpCacheStore` — the same envelopes over plain HTTP
+  (``GET``/``PUT``/``DELETE /<digest[:2]>/<digest>.json``), shaped like an
+  object store so shards on different hosts can share one cache.  Network
+  failures degrade to cache misses — a flaky cache server can slow a
+  campaign down but never wreck it;
+* :class:`CacheServer` — a stdlib ``ThreadingHTTPServer`` that exposes a
+  local :class:`CampaignCache` directory under that protocol (used by the
+  tests, the cluster bench and CI; run one near your shards);
+* :func:`make_store` — spec-string factory: ``http(s)://…`` becomes an
+  :class:`HttpCacheStore`, anything else a :class:`CampaignCache` rooted
+  at that path.  This is how a worker agent rebuilds the coordinator's
+  store from the spec carried in the transport handshake.
+
+Envelope integrity is end-to-end: the checksum is computed by the writer,
+stored inside the envelope, and re-verified by every reader — the HTTP
+hop adds no trust, a corrupt byte anywhere surfaces as an eviction and a
+recompute, never as different campaign bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from .config import stable_digest
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+PathLike = Union[str, Path]
+
+#: Subdirectory of a local cache root holding cluster registration files
+#: (coordinator/worker liveness records written by the TCP transport).
+#: Everything that walks ``<root>/*/*.json`` must skip it.
+CLUSTER_REGISTRY_DIRNAME = ".cluster"
+
+
+class CacheCorruptionWarning(UserWarning):
+    """A campaign cache entry failed validation and was evicted."""
+
+
+def _envelope_checksum(result: Dict[str, Any],
+                       manifest: Optional[Dict[str, Any]]) -> str:
+    return stable_digest({"manifest": manifest, "result": result})
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename into it survives a crash/power cut."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - exotic filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+class CacheStore:
+    """Contract every campaign result store honours.
+
+    ``get(digest)`` returns the cached ``{"result", "manifest"}`` payload
+    or None; ``put(digest, payload)`` stores one (idempotently — the key
+    is content-addressed, so concurrent writers of the same digest are
+    writing the same bytes); ``evictions`` counts corrupt entries the
+    store discarded over its lifetime.  ``describe()`` is the spec string
+    :func:`make_store` rebuilds the store from on another host.
+    """
+
+    evictions: int = 0
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __contains__(self, digest: str) -> bool:
+        return self.get(digest) is not None
+
+
+class CampaignCache(CacheStore):
+    """Content-addressed store of run results under a root directory.
+
+    Layout: ``<root>/<digest[:2]>/<digest>.json`` — one JSON document per
+    completed run, a ``{"result", "manifest", "checksum"}`` envelope whose
+    checksum is the content digest of the result+manifest pair.  Writes are
+    durable and atomic (pid-unique tmp file, fsynced, renamed over the final
+    path, directory fsynced) so a campaign killed mid-write — or a power cut
+    — never leaves a truncated entry behind; corruption that slips past that
+    (bit rot, a partial copy) is caught by the checksum on read — the entry
+    is evicted with a :class:`CacheCorruptionWarning` and the run recomputed.
+
+    Concurrency: mutations (:meth:`put`, evictions, :meth:`clear`) hold an
+    advisory ``fcntl.flock`` on the ``.lock`` sidecar under the root, so
+    concurrent campaigns can share one cache directory.  Reads are
+    lock-free: atomic rename guarantees a reader sees either the old state
+    or a complete entry, and the checksum catches everything else.
+    """
+
+    LOCK_NAME = ".lock"
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        #: Corrupt entries evicted by :meth:`get` over this cache's lifetime.
+        self.evictions = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _entries(self) -> Iterator[Path]:
+        """Every envelope file, skipping the cluster registry sidecar dir."""
+        for entry in self.root.glob("*/*.json"):
+            if entry.parent.name == CLUSTER_REGISTRY_DIRNAME:
+                continue
+            yield entry
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / self.LOCK_NAME
+
+    @contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Advisory exclusive lock over cache mutations (no-op sans fcntl)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover
+                pass
+            os.close(fd)
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached ``{"result", "manifest"}`` payload, or None on a miss.
+
+        Any validation failure — unreadable file, broken JSON, missing
+        checksum, checksum mismatch — warns, evicts the entry, and reports a
+        miss so the caller recomputes.
+        """
+        path = self._path(digest)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._evict(path, digest, f"unreadable: {exc}")
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            self._evict(path, digest, f"truncated or invalid JSON: {exc}")
+            return None
+        if (
+            not isinstance(payload, dict)
+            or "result" not in payload
+            or "checksum" not in payload
+        ):
+            self._evict(path, digest, "malformed envelope")
+            return None
+        expected = _envelope_checksum(payload["result"], payload.get("manifest"))
+        if payload["checksum"] != expected:
+            self._evict(path, digest, "checksum mismatch (corrupted content)")
+            return None
+        return {"result": payload["result"], "manifest": payload.get("manifest")}
+
+    def _evict(self, path: Path, digest: str, reason: str) -> None:
+        self.evictions += 1
+        warnings.warn(
+            f"campaign cache entry {digest[:12]}… {reason}; "
+            "evicting and recomputing",
+            CacheCorruptionWarning,
+            stacklevel=3,
+        )
+        with self._lock():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        """Durably store one result envelope (locked, atomic, fsynced).
+
+        Write path: pid-unique hidden tmp file → flush → ``fsync`` the file
+        → ``os.replace`` over the final name → ``fsync`` the directory.  A
+        crash or power cut at any point leaves either the old state or the
+        complete new entry, never a torn one.
+        """
+        result = payload["result"]
+        manifest = payload.get("manifest")
+        envelope = {
+            "result": result,
+            "manifest": manifest,
+            "checksum": _envelope_checksum(result, manifest),
+        }
+        path = self._path(digest)
+        with self._lock():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / f".{digest}.{os.getpid()}.tmp"
+            try:
+                with tmp.open("w", encoding="utf-8") as handle:
+                    json.dump(envelope, handle, sort_keys=True,
+                              separators=(",", ":"))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise
+            _fsync_dir(path.parent)
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        with self._lock():
+            for entry in list(self._entries()):
+                entry.unlink()
+                removed += 1
+        return removed
+
+    def describe(self) -> str:
+        return str(self.root.resolve())
+
+
+class HttpCacheStore(CacheStore):
+    """The campaign envelope protocol over HTTP (object-store shaped).
+
+    Entries live at ``<base>/<digest[:2]>/<digest>.json`` exactly as on
+    disk; the body is the full ``{"result", "manifest", "checksum"}``
+    envelope, validated on every read just like the directory store.  A
+    corrupt body is evicted with a best-effort ``DELETE`` and reported as
+    a miss.  Network errors (server down, timeout) are also misses — a
+    shard losing its shared cache recomputes, it never fails.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 5.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.evictions = 0
+        #: Network failures swallowed (observability, not control flow).
+        self.errors = 0
+
+    def _url(self, digest: str) -> str:
+        return f"{self.base_url}/{digest[:2]}/{digest}.json"
+
+    def _request(self, method: str, digest: str,
+                 body: Optional[bytes] = None) -> Optional[bytes]:
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            self._url(digest), data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            if exc.code != 404:
+                self.errors += 1
+            return None
+        except (urllib.error.URLError, OSError):
+            self.errors += 1
+            return None
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        body = self._request("GET", digest)
+        if body is None:
+            return None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._evict(digest, "undecodable envelope")
+            return None
+        if (
+            not isinstance(payload, dict)
+            or "result" not in payload
+            or "checksum" not in payload
+        ):
+            self._evict(digest, "malformed envelope")
+            return None
+        expected = _envelope_checksum(payload["result"], payload.get("manifest"))
+        if payload["checksum"] != expected:
+            self._evict(digest, "checksum mismatch (corrupted content)")
+            return None
+        return {"result": payload["result"], "manifest": payload.get("manifest")}
+
+    def _evict(self, digest: str, reason: str) -> None:
+        self.evictions += 1
+        warnings.warn(
+            f"remote cache entry {digest[:12]}… {reason}; "
+            "evicting and recomputing",
+            CacheCorruptionWarning,
+            stacklevel=3,
+        )
+        self._request("DELETE", digest)
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        result = payload["result"]
+        manifest = payload.get("manifest")
+        envelope = {
+            "result": result,
+            "manifest": manifest,
+            "checksum": _envelope_checksum(result, manifest),
+        }
+        body = json.dumps(envelope, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        self._request("PUT", digest, body=body)
+
+    def clear(self) -> int:
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(self.base_url + "/", method="DELETE")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return int(json.loads(resp.read().decode("utf-8"))["removed"])
+        except (urllib.error.URLError, OSError, ValueError, KeyError):
+            self.errors += 1
+            return 0
+
+    def describe(self) -> str:
+        return self.base_url
+
+
+class CacheServer:
+    """Serve a local :class:`CampaignCache` directory over HTTP.
+
+    Protocol (mirrors the on-disk layout, so an object store or a static
+    file server behind the same paths works too):
+
+    * ``GET /<aa>/<digest>.json`` — the raw envelope bytes, 404 on a miss;
+    * ``PUT /<aa>/<digest>.json`` — store one envelope (validated: bad
+      JSON or a checksum mismatch is a 400, the write never happens);
+    * ``DELETE /<aa>/<digest>.json`` — drop one entry (evictions);
+    * ``DELETE /`` — clear the store; body reports ``{"removed": n}``.
+
+    Thread-per-request via ``ThreadingHTTPServer``; the underlying
+    :class:`CampaignCache` serialises writers with its ``flock``.
+    """
+
+    def __init__(self, root: PathLike, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        cache = CampaignCache(root)
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # tests/CI do not want per-request stderr chatter
+
+            def _reply(self, code: int, body: bytes = b"") -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                if body:
+                    self.wfile.write(body)
+
+            def _digest(self) -> Optional[str]:
+                parts = self.path.strip("/").split("/")
+                if len(parts) != 2 or not parts[1].endswith(".json"):
+                    return None
+                digest = parts[1][: -len(".json")]
+                if parts[0] != digest[:2]:
+                    return None
+                return digest
+
+            def do_GET(self) -> None:
+                digest = self._digest()
+                if digest is None:
+                    self._reply(404)
+                    return
+                path = cache._path(digest)
+                try:
+                    body = path.read_bytes()
+                except OSError:
+                    self._reply(404)
+                    return
+                self._reply(200, body)
+
+            def do_PUT(self) -> None:
+                digest = self._digest()
+                if digest is None:
+                    self._reply(404)
+                    return
+                length = int(self.headers.get("Content-Length", 0))
+                body = self.rfile.read(length)
+                try:
+                    envelope = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    self._reply(400)
+                    return
+                if (
+                    not isinstance(envelope, dict)
+                    or "result" not in envelope
+                    or envelope.get("checksum")
+                    != _envelope_checksum(envelope["result"],
+                                          envelope.get("manifest"))
+                ):
+                    self._reply(400)
+                    return
+                cache.put(digest, {"result": envelope["result"],
+                                   "manifest": envelope.get("manifest")})
+                self._reply(200)
+
+            def do_DELETE(self) -> None:
+                if self.path.strip("/") == "":
+                    removed = cache.clear()
+                    self._reply(200, json.dumps({"removed": removed})
+                                .encode("utf-8"))
+                    return
+                digest = self._digest()
+                if digest is None:
+                    self._reply(404)
+                    return
+                try:
+                    cache._path(digest).unlink()
+                except OSError:
+                    self._reply(404)
+                    return
+                self._reply(200)
+
+        self.cache = cache
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Optional[Any] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CacheServer":
+        import threading
+
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.1},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def make_store(spec: Union[str, Path, CacheStore, None]) -> Optional[CacheStore]:
+    """Build a :class:`CacheStore` from its spec string.
+
+    ``http://`` / ``https://`` URLs become an :class:`HttpCacheStore`;
+    anything else is a local directory path (:class:`CampaignCache`).  An
+    existing store instance passes through; None stays None.  The spec
+    round-trips through :meth:`CacheStore.describe`, which is how the TCP
+    transport hands the coordinator's store to remote worker agents.
+    """
+    if spec is None or isinstance(spec, CacheStore):
+        return spec
+    text = str(spec)
+    if text.startswith("http://") or text.startswith("https://"):
+        return HttpCacheStore(text)
+    return CampaignCache(text)
+
+
+__all__ = [
+    "CLUSTER_REGISTRY_DIRNAME",
+    "CacheCorruptionWarning",
+    "CacheServer",
+    "CacheStore",
+    "CampaignCache",
+    "HttpCacheStore",
+    "make_store",
+]

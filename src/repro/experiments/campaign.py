@@ -30,6 +30,14 @@ Execution backends (``pool_mode``):
 * ``"inproc"`` — everything in the coordinating process, no forks, no
   watchdog.  The debugging backend (breakpoints and monkeypatches apply
   directly).
+* ``"cluster"`` — the warm pool's supervisor loop over a TCP transport
+  (:class:`repro.experiments.transport.TcpTransport`): worker *agents*
+  (``repro-muzha worker --connect HOST:PORT``) dial the coordinator's
+  listener — from other hosts, or self-spawned locally — and pull units
+  through the same work-stealing dispatch.  Agents may join late; a dead
+  connection requeues its in-flight unit un-charged (the wire died, not
+  necessarily the work).  Shards share one content-addressed cache via
+  :mod:`repro.experiments.cachestore`.
 
 Self-healing (``warm`` and ``per-attempt``): each attempt runs under a
 supervisor with an optional wall-clock watchdog
@@ -64,22 +72,32 @@ import multiprocessing.connection
 import os
 import signal
 import time
-import warnings
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..obs.engine import CampaignTelemetry
 from ..sim.rng import derive_run_seed
+# Re-exported for backward compatibility: the cache grew into its own
+# module (cachestore) when PR 10 added remote stores, but callers and
+# tests keep importing these names from here.
+from .cachestore import (  # noqa: F401
+    CLUSTER_REGISTRY_DIRNAME,
+    CacheCorruptionWarning,
+    CacheStore,
+    CampaignCache,
+    _envelope_checksum,
+    _fsync_dir,
+)
 from .config import CACHE_SCHEMA_VERSION, ScenarioConfig, stable_digest
 from .journal import CampaignJournal, JournalReplay
 from .runner import RunResult, RunSpec, execute_run
-
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    fcntl = None  # type: ignore[assignment]
+from .transport import (
+    PipeTransport,
+    TcpTransport,
+    Transport,
+    TransportError,
+)
 
 PathLike = Union[str, Path]
 
@@ -97,16 +115,12 @@ CRASH_ONCE_ENV = "REPRO_CAMPAIGN_CRASH_ONCE"
 BARRIER_ENV = "REPRO_CAMPAIGN_BARRIER"
 
 #: Execution backends accepted by :func:`run_campaign`'s ``pool_mode``.
-POOL_MODES = ("warm", "per-attempt", "inproc")
+POOL_MODES = ("warm", "per-attempt", "inproc", "cluster")
 
 #: Upper bound on how many units one warm-pool dispatch hands a worker.
 #: Small enough that a late straggler batch cannot serialise the tail of a
 #: campaign, large enough to amortise the pipe round-trip on tiny units.
 WARM_BATCH_MAX = 4
-
-
-class CacheCorruptionWarning(UserWarning):
-    """A campaign cache entry failed validation and was evicted."""
 
 
 class GracefulShutdown:
@@ -228,177 +242,6 @@ def run_digest(spec: RunSpec) -> str:
     return stable_digest(
         {"schema": CACHE_SCHEMA_VERSION, "spec": spec.to_dict()}
     )
-
-
-# ---------------------------------------------------------------------------
-# On-disk content-addressed cache
-
-
-def _envelope_checksum(result: Dict[str, Any],
-                       manifest: Optional[Dict[str, Any]]) -> str:
-    return stable_digest({"manifest": manifest, "result": result})
-
-
-def _fsync_dir(path: Path) -> None:
-    """fsync a directory so a rename into it survives a crash/power cut."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform without directory fds
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - exotic filesystems
-        pass
-    finally:
-        os.close(fd)
-
-
-class CampaignCache:
-    """Content-addressed store of run results under a root directory.
-
-    Layout: ``<root>/<digest[:2]>/<digest>.json`` — one JSON document per
-    completed run, a ``{"result", "manifest", "checksum"}`` envelope whose
-    checksum is the content digest of the result+manifest pair.  Writes are
-    durable and atomic (pid-unique tmp file, fsynced, renamed over the final
-    path, directory fsynced) so a campaign killed mid-write — or a power cut
-    — never leaves a truncated entry behind; corruption that slips past that
-    (bit rot, a partial copy) is caught by the checksum on read — the entry
-    is evicted with a :class:`CacheCorruptionWarning` and the run recomputed.
-
-    Concurrency: mutations (:meth:`put`, evictions, :meth:`clear`) hold an
-    advisory ``fcntl.flock`` on the ``.lock`` sidecar under the root, so
-    concurrent campaigns can share one cache directory.  Reads are
-    lock-free: atomic rename guarantees a reader sees either the old state
-    or a complete entry, and the checksum catches everything else.
-    """
-
-    LOCK_NAME = ".lock"
-
-    def __init__(self, root: PathLike) -> None:
-        self.root = Path(root)
-        #: Corrupt entries evicted by :meth:`get` over this cache's lifetime.
-        self.evictions = 0
-
-    def _path(self, digest: str) -> Path:
-        return self.root / digest[:2] / f"{digest}.json"
-
-    @property
-    def lock_path(self) -> Path:
-        return self.root / self.LOCK_NAME
-
-    @contextmanager
-    def _lock(self) -> Iterator[None]:
-        """Advisory exclusive lock over cache mutations (no-op sans fcntl)."""
-        if fcntl is None:  # pragma: no cover - non-POSIX platforms
-            yield
-            return
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd = os.open(self.lock_path, os.O_RDWR | os.O_CREAT, 0o644)
-        try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
-            yield
-        finally:
-            try:
-                fcntl.flock(fd, fcntl.LOCK_UN)
-            except OSError:  # pragma: no cover
-                pass
-            os.close(fd)
-
-    def get(self, digest: str) -> Optional[Dict[str, Any]]:
-        """The cached ``{"result", "manifest"}`` payload, or None on a miss.
-
-        Any validation failure — unreadable file, broken JSON, missing
-        checksum, checksum mismatch — warns, evicts the entry, and reports a
-        miss so the caller recomputes.
-        """
-        path = self._path(digest)
-        try:
-            text = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return None
-        except OSError as exc:
-            self._evict(path, digest, f"unreadable: {exc}")
-            return None
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError as exc:
-            self._evict(path, digest, f"truncated or invalid JSON: {exc}")
-            return None
-        if (
-            not isinstance(payload, dict)
-            or "result" not in payload
-            or "checksum" not in payload
-        ):
-            self._evict(path, digest, "malformed envelope")
-            return None
-        expected = _envelope_checksum(payload["result"], payload.get("manifest"))
-        if payload["checksum"] != expected:
-            self._evict(path, digest, "checksum mismatch (corrupted content)")
-            return None
-        return {"result": payload["result"], "manifest": payload.get("manifest")}
-
-    def _evict(self, path: Path, digest: str, reason: str) -> None:
-        self.evictions += 1
-        warnings.warn(
-            f"campaign cache entry {digest[:12]}… {reason}; "
-            "evicting and recomputing",
-            CacheCorruptionWarning,
-            stacklevel=3,
-        )
-        with self._lock():
-            try:
-                path.unlink()
-            except OSError:
-                pass
-
-    def put(self, digest: str, payload: Dict[str, Any]) -> None:
-        """Durably store one result envelope (locked, atomic, fsynced).
-
-        Write path: pid-unique hidden tmp file → flush → ``fsync`` the file
-        → ``os.replace`` over the final name → ``fsync`` the directory.  A
-        crash or power cut at any point leaves either the old state or the
-        complete new entry, never a torn one.
-        """
-        result = payload["result"]
-        manifest = payload.get("manifest")
-        envelope = {
-            "result": result,
-            "manifest": manifest,
-            "checksum": _envelope_checksum(result, manifest),
-        }
-        path = self._path(digest)
-        with self._lock():
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.parent / f".{digest}.{os.getpid()}.tmp"
-            try:
-                with tmp.open("w", encoding="utf-8") as handle:
-                    json.dump(envelope, handle, sort_keys=True,
-                              separators=(",", ":"))
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
-                raise
-            _fsync_dir(path.parent)
-
-    def __contains__(self, digest: str) -> bool:
-        return self._path(digest).exists()
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
-
-    def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = 0
-        with self._lock():
-            for entry in self.root.glob("*/*.json"):
-                entry.unlink()
-                removed += 1
-        return removed
 
 
 # ---------------------------------------------------------------------------
@@ -738,8 +581,8 @@ def _warm_worker_main(conn) -> None:
 
 
 @dataclass
-class _WarmWorker:
-    """Supervisor bookkeeping for one persistent worker process.
+class _PoolWorker:
+    """Supervisor bookkeeping for one connected worker (any transport).
 
     ``batch`` lists the (run, attempt) pairs currently dispatched to the
     worker, in execution order: the head is the unit executing right now,
@@ -747,9 +590,8 @@ class _WarmWorker:
     head unit's watchdog cutoff (reset every time a result arrives).
     """
 
-    process: Any
-    conn: Any
-    wid: str = ""  # telemetry worker id ("w<n>", stable across the campaign)
+    link: Any  # transport.WorkerLink
+    wid: str = ""  # telemetry worker id ("w<n>", or "host:w<n>" for agents)
     batch: List[Tuple[CampaignRun, int]] = field(default_factory=list)
     deadline: Optional[float] = None
 
@@ -758,7 +600,8 @@ class _WarmWorker:
         return not self.batch
 
 
-def _run_warm_pool(
+def _run_pool(
+    transport: Transport,
     pending: Sequence[CampaignRun],
     jobs: int,
     policy: RetryPolicy,
@@ -766,23 +609,40 @@ def _run_warm_pool(
     quarantine: Callable[[FailedRun], None],
     telemetry: Optional[CampaignTelemetry] = None,
     shutdown: Optional[GracefulShutdown] = None,
+    store_hit: Optional[
+        Callable[[CampaignRun, Dict[str, Any], Optional[Dict[str, Any]]], None]
+    ] = None,
 ) -> None:
-    """Run ``pending`` on a persistent pool of ``jobs`` warm workers.
+    """Run ``pending`` on a work-stealing pool of persistent workers.
 
-    Workers are forked once and reused: each pulls :data:`_CampaignUnit`
-    batches over its own duplex pipe and streams per-unit results back.
-    The supervisor loop keeps every PR-4 robustness guarantee:
+    The supervisor loop is transport-generic: ``transport`` provides the
+    :class:`~repro.experiments.transport.WorkerLink` objects — forked pipe
+    workers (:class:`~repro.experiments.transport.PipeTransport`, the warm
+    pool) or TCP worker agents (:class:`~repro.experiments.transport.
+    TcpTransport`, the cluster backend) — and the loop waits on links and
+    the transport's listener alike, so agents can join mid-campaign and
+    immediately start stealing units from the shared ready-queue.  Every
+    PR-4/PR-5 robustness guarantee carries over:
 
-    * a worker that dies (crash, ``os._exit``, kill) is detected via pipe
-      EOF; the unit it was executing is charged a failed attempt, the rest
-      of its batch is requeued un-charged, and a fresh worker is forked to
-      keep the pool at strength;
-    * a worker whose head unit overstays ``policy.task_timeout`` is killed
-      by the watchdog and replaced the same way;
+    * a local worker that dies (crash, ``os._exit``, kill) is detected via
+      pipe EOF; the unit it was executing is charged a failed attempt, the
+      rest of its batch is requeued un-charged, and a fresh worker is
+      spawned to keep the pool at strength;
+    * a *remote* link that drops mid-unit requeues its head unit
+      **un-charged** — the connection died, not necessarily the work — but
+      a unit that keeps killing its connections is charged after
+      ``policy.max_retries + 1`` disconnects, so a poison unit cannot loop
+      forever;
+    * a worker whose head unit overstays ``policy.task_timeout`` is
+      killed/severed by the watchdog and replaced the same way;
     * failed attempts retry with exponential backoff (the backoff clock
       lives in the ready-queue, so a waiting retry never blocks a worker);
     * units that exhaust their retries are quarantined and the campaign
       completes without them.
+
+    Remote agents consult the shared cache store before executing and may
+    answer ``hit`` instead of ``ok``; ``store_hit`` records those as cached
+    completions (same metrics bytes, so fingerprints are untouched).
 
     ``shutdown.requested`` turns the loop into a drain: no new spawns or
     dispatches, in-flight batches are awaited until ``shutdown.abort``
@@ -791,24 +651,32 @@ def _run_warm_pool(
     retries during the drain) stay unexecuted and unjournaled: they are the
     remainder a resume picks up.
     """
-    ctx = _pool_context()
     target_workers = max(1, min(jobs, len(pending)))
     # (ready_time, run, attempt) — ready_time is a monotonic timestamp.
     queue: List[Tuple[float, CampaignRun, int]] = [(0.0, run, 1) for run in pending]
-    workers: Dict[Any, _WarmWorker] = {}  # conn -> worker
+    workers: Dict[Any, _PoolWorker] = {}  # link -> worker
     worker_serial = itertools.count(1)
+    #: Mid-unit disconnect count per unit index (remote links only).
+    disconnects: Dict[int, int] = {}
+
+    def register(link: Any, replacement: bool = False) -> None:
+        serial = next(worker_serial)
+        wid = (
+            f"{link.host}:w{serial}" if link.remote else f"w{serial}"
+        )
+        workers[link] = _PoolWorker(link=link, wid=wid)
+        if telemetry is not None:
+            telemetry.worker_spawned(
+                wid,
+                link.pid if link.pid_is_local else None,
+                replacement=replacement,
+                host=link.host,
+            )
 
     def spawn(replacement: bool = False) -> None:
-        parent, child = ctx.Pipe(duplex=True)
-        process = ctx.Process(
-            target=_warm_worker_main, args=(child,), daemon=True
-        )
-        process.start()
-        child.close()
-        wid = f"w{next(worker_serial)}"
-        workers[parent] = _WarmWorker(process=process, conn=parent, wid=wid)
-        if telemetry is not None:
-            telemetry.worker_spawned(wid, process.pid, replacement=replacement)
+        link = transport.spawn()
+        if link is not None:  # TCP agents join later through accept()
+            register(link, replacement=replacement)
 
     def handle_failure(run: CampaignRun, attempt: int, error: str) -> None:
         if attempt <= policy.max_retries:
@@ -819,40 +687,59 @@ def _run_warm_pool(
         else:
             quarantine(FailedRun(run=run, error=error, attempts=attempt))
 
-    def requeue_innocent(worker: _WarmWorker) -> None:
+    def requeue_innocent(worker: _PoolWorker) -> None:
         """Units queued behind a failed head unit go back un-charged."""
         queue.extend((0.0, run, attempt) for run, attempt in worker.batch)
         worker.batch = []
 
-    def retire(worker: _WarmWorker, kill: bool) -> None:
-        workers.pop(worker.conn)
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover
-            pass
+    def retire(worker: _PoolWorker, kill: bool) -> None:
+        workers.pop(worker.link)
         if kill:
-            _terminate(worker.process)
+            worker.link.kill()
         else:
-            worker.process.join()
+            worker.link.reap()
 
-    def on_worker_death(worker: _WarmWorker) -> None:
+    def on_worker_death(worker: _PoolWorker) -> None:
         retire(worker, kill=False)
-        code = worker.process.exitcode
+        code = worker.link.exitcode
+        reason = "disconnect" if worker.link.remote else "crash"
         if worker.batch:
             run, attempt = worker.batch.pop(0)
-            error = f"worker crashed (exit code {code})"
-            if telemetry is not None:
-                telemetry.unit_result(
-                    worker.wid, run.index, attempt, "crash",
-                    scenario=run.scenario[:12], replication=run.replication,
-                    error=error,
-                )
-            handle_failure(run, attempt, error)
+            if worker.link.remote:
+                # The *connection* died; the work itself may be blameless
+                # (agent host rebooted, network blip).  Requeue un-charged —
+                # but cap it: a unit that repeatedly takes its connection
+                # down with it is eventually charged like a local crash.
+                seen = disconnects.get(run.index, 0) + 1
+                disconnects[run.index] = seen
+                if seen <= policy.max_retries + 1:
+                    queue.append((0.0, run, attempt))
+                else:
+                    error = (
+                        f"connection lost mid-unit {seen} times "
+                        f"(last exit code {code})"
+                    )
+                    if telemetry is not None:
+                        telemetry.unit_result(
+                            worker.wid, run.index, attempt, "crash",
+                            scenario=run.scenario[:12],
+                            replication=run.replication, error=error,
+                        )
+                    handle_failure(run, attempt, error)
+            else:
+                error = f"worker crashed (exit code {code})"
+                if telemetry is not None:
+                    telemetry.unit_result(
+                        worker.wid, run.index, attempt, "crash",
+                        scenario=run.scenario[:12],
+                        replication=run.replication, error=error,
+                    )
+                handle_failure(run, attempt, error)
             requeue_innocent(worker)
         if telemetry is not None:
-            telemetry.worker_exited(worker.wid, "crash", exitcode=code)
+            telemetry.worker_exited(worker.wid, reason, exitcode=code)
 
-    def on_worker_timeout(worker: _WarmWorker) -> None:
+    def on_worker_timeout(worker: _PoolWorker) -> None:
         retire(worker, kill=True)
         run, attempt = worker.batch.pop(0)
         error = f"timed out after {policy.task_timeout:g}s wall clock"
@@ -866,10 +753,10 @@ def _run_warm_pool(
         requeue_innocent(worker)
         if telemetry is not None:
             telemetry.worker_exited(
-                worker.wid, "timeout", exitcode=worker.process.exitcode
+                worker.wid, "timeout", exitcode=worker.link.exitcode
             )
 
-    def on_message(worker: _WarmWorker, message: Tuple[Any, ...]) -> None:
+    def on_message(worker: _PoolWorker, message: Tuple[Any, ...]) -> None:
         run, attempt = worker.batch.pop(0)
         now = time.monotonic()
         worker.deadline = (
@@ -877,14 +764,19 @@ def _run_warm_pool(
             if worker.batch and policy.task_timeout is not None
             else None
         )
-        if message[0] == "ok":
+        kind = message[0]
+        if kind in ("ok", "hit"):
+            cached = kind == "hit"
             if telemetry is not None:
                 telemetry.unit_result(
-                    worker.wid, run.index, attempt, "ok",
+                    worker.wid, run.index, attempt, "ok", cached=cached,
                     scenario=run.scenario[:12], replication=run.replication,
                     manifest=message[3],
                 )
-            store(run, message[2], message[3])
+            if cached and store_hit is not None:
+                store_hit(run, message[2], message[3])
+            else:
+                store(run, message[2], message[3])
         else:
             if telemetry is not None:
                 telemetry.unit_result(
@@ -895,7 +787,13 @@ def _run_warm_pool(
             handle_failure(run, attempt, message[2])
 
     def dispatch() -> None:
-        """Hand ready units to idle workers, WARM_BATCH_MAX at most each."""
+        """Hand ready units to idle workers, ``transport.prefetch`` each.
+
+        This *is* the work-stealing: the queue is shared, idle workers
+        (however they joined, whenever they joined) pull from it, and the
+        per-worker grain shrinks as more workers show up, so a late joiner
+        steals its share of whatever remains.
+        """
         idle = [w for w in workers.values() if w.idle]
         if not idle:
             return
@@ -910,7 +808,7 @@ def _run_warm_pool(
                 i += 1
         if not ready:
             return
-        per = max(1, min(WARM_BATCH_MAX, -(-len(ready) // len(idle))))
+        per = max(1, min(transport.prefetch, -(-len(ready) // len(idle))))
         handout = iter(ready)
         for worker in idle:
             chunk = list(itertools.islice(handout, per))
@@ -921,8 +819,8 @@ def _run_warm_pool(
                 now + policy.task_timeout if policy.task_timeout is not None else None
             )
             try:
-                worker.conn.send(
-                    ("batch", [(run.index, run.spec) for run, _ in chunk])
+                worker.link.send_batch(
+                    [(run.index, run.spec, run.digest) for run, _ in chunk]
                 )
             except (BrokenPipeError, OSError):
                 # Death noticed mid-send: the worker never received the
@@ -937,8 +835,9 @@ def _run_warm_pool(
                     )
         queue.extend((0.0, run, attempt) for run, attempt in handout)
 
-    for _ in range(target_workers):
-        spawn()
+    if transport.can_spawn:
+        for _ in range(target_workers):
+            spawn()
 
     try:
         while queue or any(not w.idle for w in workers.values()):
@@ -950,8 +849,12 @@ def _run_warm_pool(
                     break
             else:
                 # Keep the pool at strength: crashed workers are replaced
-                # as long as there is (or will be) work for them.
-                while len(workers) < target_workers and (
+                # as long as there is (or will be) work for them.  Spawns
+                # that join asynchronously (TCP agents) are counted via
+                # ``pending_spawns`` so a slow joiner is not double-spawned.
+                while transport.can_spawn and (
+                    len(workers) + transport.pending_spawns < target_workers
+                ) and (
                     queue or any(not w.idle for w in workers.values())
                 ):
                     spawn(replacement=True)
@@ -974,17 +877,24 @@ def _run_warm_pool(
             future_ready = [r for r, _, _ in queue if r > now]
             if future_ready:
                 timeout = min(timeout, max(0.0, min(future_ready) - now))
-            ready_conns = multiprocessing.connection.wait(
-                list(workers), timeout=timeout
+            ready_objs = multiprocessing.connection.wait(
+                list(workers) + transport.waitables, timeout=timeout
             )
-            for conn in ready_conns:
-                worker = workers[conn]
+            accepted = False
+            for obj in ready_objs:
+                worker = workers.get(obj)
+                if worker is None:
+                    accepted = True  # the transport listener is readable
+                    continue
                 try:
-                    message = conn.recv()
-                except (EOFError, OSError):
+                    message = worker.link.recv()
+                except (EOFError, OSError, TransportError):
                     on_worker_death(worker)
                 else:
                     on_message(worker, message)
+            if accepted:
+                for link in transport.accept():
+                    register(link)
             now = time.monotonic()
             for worker in [
                 w for w in workers.values()
@@ -993,20 +903,10 @@ def _run_warm_pool(
                 on_worker_timeout(worker)
     finally:
         for worker in list(workers.values()):
-            try:
-                worker.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-            try:
-                worker.conn.close()
-            except OSError:  # pragma: no cover
-                pass
-            worker.process.join(timeout=1.0)
-            if worker.process.is_alive():  # pragma: no cover - stuck worker
-                _terminate(worker.process)
+            worker.link.stop()
             if telemetry is not None:
                 telemetry.worker_exited(
-                    worker.wid, "stop", exitcode=worker.process.exitcode
+                    worker.wid, "stop", exitcode=worker.link.exitcode
                 )
         workers.clear()
 
@@ -1190,6 +1090,7 @@ def run_campaign(
     journal: Optional[CampaignJournal] = None,
     resume: Optional[JournalReplay] = None,
     shutdown: Optional[GracefulShutdown] = None,
+    transport: Optional[Transport] = None,
 ) -> CampaignResult:
     """Run every ``(spec, replication)`` in ``grid``; return ordered records.
 
@@ -1205,10 +1106,19 @@ def run_campaign(
 
     ``pool_mode`` selects the execution backend (see the module docstring):
     ``"warm"`` (persistent warm-worker pool, the default),
-    ``"per-attempt"`` (one forked process per attempt), or ``"inproc"``
-    (no forks, no watchdog).  ``jobs == 1`` with no watchdog short-circuits
-    to in-process execution in every mode — a single-slot pool buys nothing
-    over running the units directly.
+    ``"per-attempt"`` (one forked process per attempt), ``"inproc"``
+    (no forks, no watchdog), or ``"cluster"`` (the warm pool's supervisor
+    loop over a TCP transport; worker agents join over the network and a
+    mid-unit disconnect requeues the unit un-charged).  ``jobs == 1`` with
+    no watchdog short-circuits to in-process execution in every local mode
+    — a single-slot pool buys nothing over running the units directly —
+    but never in ``cluster`` mode, where even one worker lives behind the
+    transport.  ``transport`` lets a caller supply a pre-opened
+    :class:`~repro.experiments.transport.TcpTransport` (to pin the listen
+    address, disable agent self-spawn, or reuse warmed agents across
+    campaigns); by default ``cluster`` opens a loopback transport that
+    keeps itself at ``jobs`` local agents.  A transport this function
+    opened, it also closes.
 
     ``telemetry`` (a :class:`repro.obs.engine.CampaignTelemetry`) streams
     spans, coordinator events, worker heartbeats and progress over NDJSON as
@@ -1254,15 +1164,41 @@ def run_campaign(
     done = 0
     evictions_before = cache.evictions if cache is not None else 0
 
+    # Cluster mode opens its transport before the journal's begin record is
+    # written, so the record can carry the coordinator's endpoint — that is
+    # what lets a resume (and the doctor) reason about the previous
+    # generation's cluster.  Ownership rule: whoever transitioned the
+    # transport to open closes it, so a caller-provided pre-opened
+    # transport (a bench reusing warmed agents) survives this campaign.
+    owns_transport = False
+    transport_info: Optional[Dict[str, Any]] = None
+    if pool_mode == "cluster":
+        if transport is None:
+            registry = None
+            if isinstance(cache, CampaignCache):
+                registry = cache.root / CLUSTER_REGISTRY_DIRNAME
+            transport = TcpTransport(
+                cache_spec=cache.describe() if cache is not None else None,
+                registry=registry,
+            )
+        owns_transport = transport.open()
+        if getattr(transport, "cache_spec", None) is None and cache is not None:
+            transport.cache_spec = cache.describe()
+        transport_info = transport.info()
+
     if telemetry is not None:
+        extra: Dict[str, Any] = {}
+        if transport_info is not None and "endpoint" in transport_info:
+            extra["transport"] = transport_info["endpoint"]
         telemetry.begin_campaign(
             len(runs), pool_mode, jobs,
-            base_seed=base_seed, replications=replications,
+            base_seed=base_seed, replications=replications, **extra,
         )
     if journal is not None:
         journal.begin(
             runs, pool_mode=pool_mode, base_seed=base_seed,
             replications=replications, resumed=resume is not None,
+            transport=transport_info,
         )
 
     def finish(record: RunRecord) -> None:
@@ -1351,8 +1287,24 @@ def run_campaign(
         finish(RunRecord(run=run, metrics=metrics, cached=False,
                          manifest=manifest))
 
+    def store_hit(run: CampaignRun, metrics: Dict[str, Any],
+                  manifest: Optional[Dict[str, Any]]) -> None:
+        # A remote agent answered from the shared cache store: same bytes
+        # as an execution (the fingerprint cannot tell), recorded as a
+        # cached completion.  The result already lives in the shared
+        # store, so no local put.
+        if telemetry is not None:
+            telemetry.cache_hit(run.index, run.digest)
+        if journal is not None:
+            journal.done(run, stable_digest(metrics), cached=True)
+        finish(RunRecord(run=run, metrics=metrics, cached=True,
+                         manifest=manifest))
+
     if pending and (
-        pool_mode == "inproc" or (jobs == 1 and policy.task_timeout is None)
+        pool_mode == "inproc" or (
+            jobs == 1 and policy.task_timeout is None
+            and pool_mode != "cluster"
+        )
     ):
         # In-process fast path: no fork, no pipes.  Exceptions are retried
         # without backoff (an in-process failure is deterministic; sleeping
@@ -1399,8 +1351,21 @@ def run_campaign(
         _run_supervised(pending, jobs, policy, store, quarantine, telemetry,
                         shutdown)
     elif pending:
-        _run_warm_pool(pending, jobs, policy, store, quarantine, telemetry,
-                       shutdown)
+        pool_transport = (
+            transport if pool_mode == "cluster" else PipeTransport()
+        )
+        try:
+            _run_pool(pool_transport, pending, jobs, policy, store,
+                      quarantine, telemetry, shutdown, store_hit=store_hit)
+        finally:
+            if owns_transport:
+                transport.close()
+                owns_transport = False
+
+    if owns_transport:
+        # Nothing was dispatched (fully cached, or interrupted during
+        # cache resolution) but the transport was opened above: close it.
+        transport.close()
 
     failed.sort(key=lambda f: f.run.index)
     evictions = (cache.evictions - evictions_before) if cache is not None else 0

@@ -22,7 +22,15 @@ fixes) what it finds:
   drifted entry so the re-execution starts clean);
 * **unclosed span logs** — spans opened but never closed, the signature
   of a killed campaign (informational; ``repro-muzha report`` renders
-  such logs as partial).
+  such logs as partial);
+* **stale cluster registrations** — liveness files under the cache's
+  ``.cluster/`` registry whose process is gone (local pid) or whose
+  coordinator endpoint no longer answers (remote host): the debris of a
+  killed distributed campaign (repair deletes them);
+* **cluster endpoints in interrupted journals** — a ``begin`` record
+  carrying a transport endpoint is probed: still answering means the
+  campaign may still be running (resuming risks double execution), dead
+  means it is safe to resume (resumes never reconnect).
 
 Every diagnosis is a :class:`Finding`; nothing here ever *executes* a
 simulation, takes the cache lock for reads, or mutates anything unless
@@ -32,6 +40,8 @@ simulation, takes the cache lock for reads, or mutates anything unless
 from __future__ import annotations
 
 import json
+import os
+import socket
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -39,7 +49,11 @@ from typing import Any, Dict, List, Optional, Union
 from ..obs.provenance import stable_digest
 from ..obs.spans import read_span_log
 from ..obs.validate import validate_journal_file
-from .campaign import CampaignCache, _envelope_checksum
+from .cachestore import (
+    CLUSTER_REGISTRY_DIRNAME,
+    CampaignCache,
+    _envelope_checksum,
+)
 from .journal import JournalError, read_journal, replay_journal
 
 PathLike = Union[str, Path]
@@ -107,6 +121,98 @@ def _remove(path: Path) -> bool:
         return False
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live process on *this* host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive but not ours
+        return True
+    except OSError:  # pragma: no cover - exotic platform failure
+        return False
+    return True
+
+
+def _endpoint_alive(endpoint: str, timeout: float = 0.5) -> bool:
+    """Whether a ``host:port`` coordinator endpoint accepts connections.
+
+    A bare connect-and-close: the coordinator's accept loop treats a
+    connection that sends no ``hello`` as a garbage connect and drops it
+    silently, so probing a live campaign is harmless.
+    """
+    try:
+        host, _, port = endpoint.rpartition(":")
+        with socket.create_connection((host, int(port)), timeout=timeout):
+            return True
+    except (OSError, ValueError):
+        return False
+
+
+def _diagnose_cluster_registry(root: Path, repair: bool) -> List[Finding]:
+    """Findings for the ``.cluster/`` liveness registry of one cache.
+
+    :class:`~repro.experiments.transport.TcpTransport` writes one JSON
+    file per coordinator/worker and removes them on a clean close, so
+    anything still here belongs to a campaign that is either *running*
+    (pid alive / endpoint answering — reported as info, never repaired)
+    or *dead* (stale registration — repair deletes it).
+    """
+    registry = root / CLUSTER_REGISTRY_DIRNAME
+    findings: List[Finding] = []
+    if not registry.is_dir():
+        return findings
+    local_host = socket.gethostname()
+    for path in sorted(registry.glob("*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            kind = str(record["kind"])
+            host = str(record["host"])
+            pid = int(record["pid"])
+            endpoint = str(record["endpoint"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            finding = Finding(
+                "warn", "cluster-registry-corrupt", str(path),
+                f"unreadable cluster registration: {exc}",
+            )
+            if repair:
+                finding.repaired = _remove(path)
+            findings.append(finding)
+            continue
+        if host == local_host and pid > 0:
+            alive = _pid_alive(pid)
+            how = f"pid {pid} is {'alive' if alive else 'gone'}"
+        else:
+            # Remote (or pid-less) registrant: the best liveness signal
+            # we have is whether its coordinator endpoint still answers.
+            alive = _endpoint_alive(endpoint)
+            how = (f"coordinator endpoint {endpoint} is "
+                   f"{'answering' if alive else 'not answering'}")
+        if alive:
+            findings.append(Finding(
+                "info", "cluster-active", str(path),
+                f"registered cluster {kind} on {host} looks live ({how}); "
+                "a distributed campaign may still be running",
+            ))
+            continue
+        finding = Finding(
+            "warn", "cluster-orphan", str(path),
+            f"stale cluster {kind} registration ({how}); the {kind} "
+            "exited without cleaning up",
+        )
+        if repair:
+            finding.repaired = _remove(path)
+        findings.append(finding)
+    if repair:
+        try:  # leave no empty registry behind once every file is gone
+            registry.rmdir()
+        except OSError:
+            pass
+    return findings
+
+
 def diagnose_cache(root: PathLike, repair: bool = False) -> List[Finding]:
     """Findings for one campaign cache directory."""
     root = Path(root)
@@ -120,7 +226,12 @@ def diagnose_cache(root: PathLike, repair: bool = False) -> List[Finding]:
     # Orphaned write-in-progress files: the current hidden pid-unique form
     # (.<digest>.<pid>.tmp) and the legacy <digest>.tmp form both end in
     # .tmp, and pathlib's ``*`` matches dotfiles, so one glob covers both.
+    # That same dotfile matching would also pull in the ``.cluster/``
+    # liveness registry, which is not envelope-shaped — skip it here and
+    # diagnose it separately below.
     for tmp in sorted(root.glob("*/*.tmp")):
+        if tmp.parent.name == CLUSTER_REGISTRY_DIRNAME:
+            continue
         finding = Finding(
             "warn", "orphan-tmp", str(tmp),
             "orphaned write-in-progress file (coordinator killed "
@@ -130,6 +241,8 @@ def diagnose_cache(root: PathLike, repair: bool = False) -> List[Finding]:
             finding.repaired = _remove(tmp)
         findings.append(finding)
     for entry in sorted(root.glob("*/*.json")):
+        if entry.parent.name == CLUSTER_REGISTRY_DIRNAME:
+            continue
         reason = _read_envelope(entry)
         if reason is None:
             continue
@@ -141,6 +254,7 @@ def diagnose_cache(root: PathLike, repair: bool = False) -> List[Finding]:
         if repair:
             finding.repaired = _remove(entry)
         findings.append(finding)
+    findings.extend(_diagnose_cluster_registry(root, repair))
     return findings
 
 
@@ -169,7 +283,7 @@ def diagnose_journal(
         ))
         return findings
     try:
-        _, truncated = read_journal(path)
+        records, truncated = read_journal(path)
     except JournalError as exc:
         findings.append(Finding(
             "error", "journal-corrupt", str(path),
@@ -203,6 +317,31 @@ def diagnose_journal(
             f"{replay.total} units remaining; resume with "
             "--resume",
         ))
+        # The latest generation's begin record carries the coordinator
+        # endpoint of a cluster run; probe it so the operator knows
+        # whether the interrupted campaign might still be alive.
+        transport: Optional[Dict[str, Any]] = None
+        for record in reversed(records):
+            if record.get("kind") == "begin":
+                transport = record.get("transport")
+                break
+        endpoint = (transport or {}).get("endpoint")
+        if endpoint:
+            if _endpoint_alive(str(endpoint)):
+                findings.append(Finding(
+                    "warn", "cluster-endpoint-live", str(path),
+                    f"interrupted cluster generation's coordinator "
+                    f"endpoint {endpoint} still answers — the campaign "
+                    "may still be running; resuming now risks executing "
+                    "units twice",
+                ))
+            else:
+                findings.append(Finding(
+                    "info", "cluster-endpoint-stale", str(path),
+                    f"interrupted cluster generation's coordinator "
+                    f"endpoint {endpoint} no longer answers; safe to "
+                    "resume (resumes never reconnect to it)",
+                ))
     if cache is None:
         return findings
     store = CampaignCache(cache)

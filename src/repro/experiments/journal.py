@@ -154,7 +154,8 @@ class CampaignJournal:
     # -- campaign lifecycle ------------------------------------------------------
 
     def begin(self, runs: Sequence[Any], *, pool_mode: str, base_seed: int,
-              replications: int, resumed: bool) -> None:
+              replications: int, resumed: bool,
+              transport: Optional[Dict[str, Any]] = None) -> None:
         """Journal the campaign plan — the write-ahead step.
 
         Written (and fsynced) *before* any dispatch, so even a campaign
@@ -162,8 +163,15 @@ class CampaignJournal:
         per-unit ``planned`` records are written once, by the first
         generation; a resume generation re-states only the ``plan_digest``
         (verified against the original by :meth:`JournalReplay.verify_plan`).
+
+        ``transport`` (cluster campaigns) records the coordinator's
+        transport — ``{"kind": "tcp", "endpoint": "host:port"}`` — purely
+        as provenance: resumes never reconnect to it (the endpoint is dead
+        by definition once a resume is needed), but ``repro-muzha doctor``
+        probes it to tell a stale interrupted journal from a campaign that
+        is still running.
         """
-        self.write({
+        record: Dict[str, Any] = {
             "kind": "begin",
             "t": time.time(),
             "schema": JOURNAL_SCHEMA_VERSION,
@@ -173,7 +181,10 @@ class CampaignJournal:
             "pool_mode": pool_mode,
             "plan_digest": plan_digest(runs),
             "resumed": resumed,
-        })
+        }
+        if transport is not None:
+            record["transport"] = transport
+        self.write(record)
         if not resumed:
             for run in runs:
                 self.write({

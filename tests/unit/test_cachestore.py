@@ -1,0 +1,153 @@
+"""Unit tests for the pluggable campaign result stores.
+
+The local :class:`CampaignCache` behaviour (atomic writes, locking,
+corruption eviction) is covered by the campaign robustness suite; this
+file exercises what PR 10 added on top — the :class:`CacheStore` spec
+round-trip, the ``.cluster`` registry staying invisible to entry walks,
+and the HTTP store/server pair sharing one envelope contract with the
+directory store, including end-to-end corruption detection.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cachestore import (
+    CLUSTER_REGISTRY_DIRNAME,
+    CacheCorruptionWarning,
+    CacheServer,
+    CacheStore,
+    CampaignCache,
+    HttpCacheStore,
+    make_store,
+)
+
+DIGEST = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+PAYLOAD = {"result": {"goodput": 123.0, "rtx": 4},
+           "manifest": {"result_digest": "deadbeef"}}
+
+
+# ---------------------------------------------------------------------------
+# make_store / describe round-trip
+
+
+def test_make_store_builds_each_kind(tmp_path):
+    assert make_store(None) is None
+    local = make_store(tmp_path / "cache")
+    assert isinstance(local, CampaignCache)
+    assert make_store(local) is local  # instances pass through
+    remote = make_store("http://127.0.0.1:9/cache")
+    assert isinstance(remote, HttpCacheStore)
+    assert isinstance(make_store("https://example/cache"), HttpCacheStore)
+
+
+def test_describe_round_trips_through_make_store(tmp_path):
+    local = CampaignCache(tmp_path / "cache")
+    rebuilt = make_store(local.describe())
+    assert isinstance(rebuilt, CampaignCache)
+    assert rebuilt.root == local.root.resolve()
+    remote = HttpCacheStore("http://127.0.0.1:9/cache/")
+    rebuilt = make_store(remote.describe())
+    assert isinstance(rebuilt, HttpCacheStore)
+    assert rebuilt.base_url == remote.base_url
+
+
+# ---------------------------------------------------------------------------
+# the .cluster registry is not cache content
+
+
+def test_cluster_registry_is_invisible_to_entry_walks(tmp_path):
+    cache = CampaignCache(tmp_path / "cache")
+    cache.put(DIGEST, PAYLOAD)
+    registry = cache.root / CLUSTER_REGISTRY_DIRNAME
+    registry.mkdir()
+    liveness = registry / "coordinator-host-1.json"
+    liveness.write_text('{"kind": "coordinator"}')
+
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert liveness.is_file()  # clear() must not eat liveness records
+    assert cache.get(DIGEST) is None
+
+
+# ---------------------------------------------------------------------------
+# HTTP store against a live CacheServer
+
+
+@pytest.fixture()
+def served(tmp_path):
+    with CacheServer(tmp_path / "cache") as server:
+        yield server, HttpCacheStore(server.url)
+
+
+def test_http_roundtrip_shares_envelopes_with_the_directory_store(served):
+    server, remote = served
+    assert remote.get(DIGEST) is None
+    remote.put(DIGEST, PAYLOAD)
+    assert remote.get(DIGEST) == PAYLOAD
+    assert DIGEST in remote
+    # Same envelope the local store would have written: a directory-store
+    # reader on the served root sees an identical payload.
+    assert server.cache.get(DIGEST) == PAYLOAD
+
+
+def test_http_clear_empties_the_store(served):
+    _, remote = served
+    remote.put(DIGEST, PAYLOAD)
+    remote.put(OTHER, PAYLOAD)
+    assert remote.clear() == 2
+    assert remote.get(DIGEST) is None
+
+
+def test_http_get_evicts_corrupt_entries(served):
+    server, remote = served
+    remote.put(DIGEST, PAYLOAD)
+    entry = server.cache._path(DIGEST)
+    envelope = json.loads(entry.read_text())
+    envelope["result"]["goodput"] = 999.0  # flip a byte past the checksum
+    entry.write_text(json.dumps(envelope))
+    with pytest.warns(CacheCorruptionWarning):
+        assert remote.get(DIGEST) is None
+    assert remote.evictions == 1
+    assert not entry.exists()  # the DELETE eviction reached the server
+
+
+def test_server_refuses_envelopes_with_bad_checksums(served):
+    server, remote = served
+    import urllib.error
+    import urllib.request
+
+    body = json.dumps({"result": {"x": 1}, "manifest": None,
+                       "checksum": "not-the-checksum"}).encode()
+    request = urllib.request.Request(
+        f"{server.url}/{DIGEST[:2]}/{DIGEST}.json", data=body, method="PUT"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=5.0)
+    assert excinfo.value.code == 400
+    excinfo.value.close()
+    assert remote.get(DIGEST) is None  # the bad write never landed
+
+
+def test_network_failures_degrade_to_misses(tmp_path):
+    """A dead cache server slows a shard down; it never fails it."""
+    # A fresh CacheServer bound then torn down yields a port with nothing
+    # listening — connection refused, immediately.
+    with CacheServer(tmp_path / "cache") as server:
+        dead_url = server.url
+    remote = HttpCacheStore(dead_url, timeout=1.0)
+    assert remote.get(DIGEST) is None
+    remote.put(DIGEST, PAYLOAD)  # must not raise
+    assert remote.clear() == 0
+    assert remote.errors >= 2
+
+
+def test_cache_store_contract_default_contains():
+    class Probe(CacheStore):
+        def get(self, digest):
+            return PAYLOAD if digest == DIGEST else None
+
+    probe = Probe()
+    assert DIGEST in probe
+    assert OTHER not in probe

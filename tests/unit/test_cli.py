@@ -189,3 +189,55 @@ def test_stats_command_json_snapshot(capsys):
     assert rollup["mac.data_tx"] > 0
     assert rollup["ifq.enqueued"] > 0
     assert rollup["tcp.data_sent"] > 0
+
+
+@pytest.mark.parametrize("flag,value", [
+    ("--workers", "0"),
+    ("--workers", "-2"),
+    ("--jobs", "0"),
+    ("--jobs", "-1"),
+    ("--heartbeat-interval", "0"),
+    ("--heartbeat-interval", "-0.5"),
+    ("--heartbeat-interval", "nan"),
+    ("--drain-timeout", "-1"),
+    ("--agents", "-1"),
+])
+def test_campaign_rejects_nonsense_numeric_knobs(flag, value, capsys):
+    """Zero/negative pool sizes and periods die as clear argparse errors,
+    not as a hung pool or a division by zero deep in the span engine."""
+    from repro.cli import build_parser
+
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["campaign", flag, value])
+    assert excinfo.value.code == 2  # argparse usage error
+    err = capsys.readouterr().err
+    assert f"argument {flag}" in err
+
+
+@pytest.mark.parametrize("flag,value", [
+    ("--workers", "1"),
+    ("--jobs", "4"),
+    ("--heartbeat-interval", "0.25"),
+    ("--drain-timeout", "0"),  # zero drain = terminate immediately, valid
+    ("--agents", "0"),  # zero agents = external joiners only, valid
+])
+def test_campaign_accepts_boundary_numeric_knobs(flag, value):
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["campaign", flag, value])
+    assert args.command == "campaign"
+
+
+def test_cluster_transport_flags_require_cluster_pool_mode(tmp_path):
+    with pytest.raises(SystemExit, match="--pool-mode cluster"):
+        main([
+            "campaign", "--variants", "newreno", "--hops", "2",
+            "--replications", "1", "--time", "0.1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--listen", "127.0.0.1:0",
+        ])
+
+
+def test_worker_command_rejects_bad_endpoint():
+    with pytest.raises(SystemExit, match="HOST:PORT"):
+        main(["worker", "--connect", "no-port-here"])

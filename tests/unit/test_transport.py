@@ -1,0 +1,231 @@
+"""Unit tests for the cluster worker transport.
+
+Covers the TCP wire layer in isolation — length-prefixed JSON framing,
+endpoint parsing, the hello/welcome handshake with its version gates, and
+the liveness registry files the doctor later hunts — without running any
+campaign.  The end-to-end cluster behaviour (byte-identity, disconnect
+requeue, work stealing) lives in ``tests/integration/test_cluster.py``.
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.experiments.config import CACHE_SCHEMA_VERSION
+from repro.experiments.transport import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    TcpTransport,
+    TransportError,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+)
+
+
+# ---------------------------------------------------------------------------
+# framing
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def test_frames_roundtrip_in_order():
+    a, b = socket_pair()
+    try:
+        messages = [
+            {"kind": "hello", "host": "nodeb", "pid": 42},
+            {"kind": "batch", "units": [{"index": 0, "spec": {"x": 1}}]},
+            {"kind": "ok", "index": 0, "metrics": {"goodput": 1.5},
+             "manifest": None},
+        ]
+        for message in messages:
+            send_frame(a, message)
+        for message in messages:
+            assert recv_frame(b) == message
+    finally:
+        a.close()
+        b.close()
+
+
+def test_closed_peer_raises_eof():
+    a, b = socket_pair()
+    a.close()
+    try:
+        with pytest.raises(EOFError):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_mid_frame_close_raises_eof():
+    """A peer dying after the length prefix is EOF, not a hang or garbage."""
+    a, b = socket_pair()
+    try:
+        a.sendall(struct.pack(">I", 100) + b'{"kind"')
+        a.close()
+        with pytest.raises(EOFError):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_oversized_length_prefix_is_rejected_before_allocation():
+    a, b = socket_pair()
+    try:
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(TransportError, match="exceeds"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+@pytest.mark.parametrize("body", [
+    b"\xff\xfe not json at all",     # undecodable bytes
+    b'"just a string"',              # JSON, but not an object
+    b'{"no": "kind field"}',         # object without the discriminator
+])
+def test_garbage_frames_raise_transport_error(body):
+    a, b = socket_pair()
+    try:
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(TransportError):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+# ---------------------------------------------------------------------------
+# endpoints
+
+
+def test_parse_endpoint_accepts_host_port():
+    assert parse_endpoint("127.0.0.1:9000") == ("127.0.0.1", 9000)
+    assert parse_endpoint("nodeb.example:80") == ("nodeb.example", 80)
+    # rpartition: everything before the last colon is the host.
+    assert parse_endpoint("fe80::1:8080") == ("fe80::1", 8080)
+
+
+@pytest.mark.parametrize("text", ["9000", ":9000", "host:", "host:abc"])
+def test_parse_endpoint_rejects_malformed_input(text):
+    with pytest.raises(ValueError):
+        parse_endpoint(text)
+
+
+# ---------------------------------------------------------------------------
+# handshake
+
+
+@pytest.fixture()
+def listening_transport():
+    transport = TcpTransport(spawn_agents=False, cache_spec="/shared/cache")
+    assert transport.open()
+    yield transport
+    transport.close()
+
+
+def dial(transport):
+    sock = socket.create_connection(
+        parse_endpoint(transport.endpoint), timeout=5.0
+    )
+    sock.settimeout(5.0)
+    return sock
+
+
+def hello(**overrides):
+    message = {
+        "kind": "hello", "host": "nodeb", "pid": 4242,
+        "wire": WIRE_VERSION, "schema": CACHE_SCHEMA_VERSION,
+    }
+    message.update(overrides)
+    return message
+
+
+def test_handshake_welcomes_a_matching_agent(listening_transport):
+    sock = dial(listening_transport)
+    try:
+        send_frame(sock, hello())
+        links = listening_transport.accept()
+        assert len(links) == 1
+        link = links[0]
+        assert link.remote
+        assert link.host == "nodeb"
+        assert link.pid == 4242
+        assert not link.pid_is_local  # "nodeb" is not this host
+        welcome = recv_frame(sock)
+        assert welcome == {"kind": "welcome", "cache": "/shared/cache"}
+        link.stop()
+    finally:
+        sock.close()
+
+
+@pytest.mark.parametrize("bad,expect", [
+    ({"wire": WIRE_VERSION + 1}, "wire version"),
+    ({"schema": -1}, "cache schema"),
+])
+def test_handshake_rejects_mismatched_builds(listening_transport, bad, expect):
+    sock = dial(listening_transport)
+    try:
+        send_frame(sock, hello(**bad))
+        assert listening_transport.accept() == []
+        reply = recv_frame(sock)
+        assert reply["kind"] == "reject"
+        assert expect in reply["reason"]
+    finally:
+        sock.close()
+
+
+def test_handshake_drops_silent_probes(listening_transport):
+    """A connect-and-close (doctor's liveness probe) is not a worker."""
+    sock = dial(listening_transport)
+    sock.close()
+    assert listening_transport.accept() == []
+
+
+def test_open_is_idempotent_and_reports_ownership():
+    transport = TcpTransport(spawn_agents=False)
+    try:
+        assert transport.open() is True
+        endpoint = transport.endpoint
+        assert transport.open() is False  # second open: not the owner
+        assert transport.endpoint == endpoint
+    finally:
+        transport.close()
+
+
+# ---------------------------------------------------------------------------
+# liveness registry
+
+
+def test_registry_files_appear_on_open_and_vanish_on_close(tmp_path):
+    registry = tmp_path / ".cluster"
+    transport = TcpTransport(spawn_agents=False, registry=registry)
+    assert transport.open()
+    files = list(registry.glob("*.json"))
+    assert len(files) == 1
+    record = json.loads(files[0].read_text())
+    assert record["kind"] == "coordinator"
+    assert record["endpoint"] == transport.endpoint
+    assert record["host"] == socket.gethostname()
+
+    sock = dial(transport)
+    try:
+        send_frame(sock, hello())
+        (link,) = transport.accept()
+        names = {json.loads(p.read_text())["kind"]
+                 for p in registry.glob("*.json")}
+        assert names == {"coordinator", "worker"}
+        link.stop()
+    finally:
+        sock.close()
+
+    transport.close()
+    assert list(registry.glob("*.json")) == []
